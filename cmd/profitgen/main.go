@@ -1,0 +1,131 @@
+// Command profitgen generates profit-mining datasets.
+//
+// It produces the paper's synthetic datasets (Section 5.2) at any scale,
+// or the bundled grocery dataset, in the library's line-oriented JSON
+// format:
+//
+//	profitgen -dataset I  -txns 100000 -items 1000 -out dataset1.pmjl
+//	profitgen -dataset II -txns 100000 -items 1000 -out dataset2.pmjl
+//	profitgen -dataset grocery -txns 5000 -out grocery.pmjl
+//
+// A synthetic multi-level concept hierarchy can be attached to flat
+// datasets, and raw market-basket files (one whitespace-separated
+// transaction per line) can be converted by naming the target tokens:
+//
+//	profitgen -dataset I -txns 10000 -items 200 -hierarchy 10 -out h.pmjl
+//	profitgen -baskets retail.dat -targets 39,48 -out retail.pmjl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"profitmining"
+	"profitmining/internal/dataio"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "I", `dataset to generate: "I", "II" or "grocery"`)
+		txns    = flag.Int("txns", 100000, "number of transactions (|T|)")
+		items   = flag.Int("items", 1000, "number of non-target items (|I|)")
+		avgLen  = flag.Float64("avglen", 10, "average transaction length")
+		seed    = flag.Int64("seed", 1, "random seed")
+		fanout  = flag.Int("hierarchy", 0, "attach a synthetic concept hierarchy with this fanout (0 = flat)")
+		baskets = flag.String("baskets", "", "convert a raw basket file (one transaction per line) instead of generating")
+		targets = flag.String("targets", "", "comma-separated target tokens for -baskets")
+		out     = flag.String("out", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "profitgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		ds   *profitmining.Dataset
+		spec *profitmining.HierarchySpec
+		err  error
+	)
+	if *baskets != "" {
+		ds, err = convertBaskets(*baskets, *targets, *seed)
+	} else {
+		ds, spec, err = generate(*dataset, *txns, *items, *avgLen, *seed)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profitgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *fanout > 0 {
+		if spec != nil {
+			fmt.Fprintln(os.Stderr, "profitgen: -hierarchy only applies to flat synthetic datasets")
+			os.Exit(2)
+		}
+		spec = syntheticSpec(ds, *fanout)
+	}
+	if err := profitmining.SaveDataset(*out, ds, spec); err != nil {
+		fmt.Fprintf(os.Stderr, "profitgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d transactions, %d items (%d targets), %d promotion codes, recorded profit %.2f\n",
+		*out, len(ds.Transactions), ds.Catalog.NumItems(), len(ds.Catalog.TargetItems()),
+		ds.Catalog.NumPromos(), ds.RecordedProfit())
+}
+
+func syntheticSpec(ds *profitmining.Dataset, fanout int) *profitmining.HierarchySpec {
+	return dataio.SyntheticHierarchySpec(ds.Catalog, fanout)
+}
+
+func convertBaskets(path, targets string, seed int64) (*profitmining.Dataset, error) {
+	if targets == "" {
+		return nil, fmt.Errorf("-baskets needs -targets (comma-separated target tokens)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return profitmining.ReadBaskets(f, profitmining.BasketOptions{
+		Targets: strings.Split(targets, ","),
+		Seed:    seed,
+	})
+}
+
+func generate(dataset string, txns, items int, avgLen float64, seed int64) (*profitmining.Dataset, *profitmining.HierarchySpec, error) {
+	q := profitmining.QuestConfig{
+		NumTransactions: txns,
+		NumItems:        items,
+		AvgTxnLen:       avgLen,
+		Seed:            seed,
+	}
+	switch dataset {
+	case "I", "i", "1":
+		ds, err := profitmining.GenerateDatasetI(q, seed+1)
+		return ds, nil, err
+	case "II", "ii", "2":
+		ds, err := profitmining.GenerateDatasetII(q, seed+1)
+		return ds, nil, err
+	case "grocery":
+		g := profitmining.NewGrocery(txns, seed)
+		spec := &profitmining.HierarchySpec{
+			Concepts: []profitmining.ConceptSpec{
+				{Name: "Cosmetics"},
+				{Name: "Food"},
+				{Name: "Meat", Parents: []string{"Food"}},
+				{Name: "Bakery", Parents: []string{"Food"}},
+			},
+			Placements: map[string][]string{
+				"Perfume":       {"Cosmetics"},
+				"Shampoo":       {"Cosmetics"},
+				"FlakedChicken": {"Meat"},
+				"Bread":         {"Bakery"},
+			},
+		}
+		return g.Dataset, spec, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q (want I, II or grocery)", dataset)
+	}
+}

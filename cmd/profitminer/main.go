@@ -1,0 +1,112 @@
+// Command profitminer builds a profit-mining recommender from a dataset
+// file and reports the model: construction statistics, the final rules in
+// MPF rank order, and sample recommendations with explanations.
+//
+//	profitminer -in dataset1.pmjl -minsup 0.001
+//	profitminer -in grocery.pmjl -minsup 0.01 -show 25 -demo 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"profitmining"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input dataset file (required)")
+		minsup  = flag.Float64("minsup", 0.001, "minimum relative support")
+		minprof = flag.Float64("minprofit", 0, "minimum rule profit (0 = off)")
+		maxLen  = flag.Int("maxlen", 3, "maximum rule body length")
+		cf      = flag.Float64("cf", 0.25, "pessimistic confidence level")
+		noMOA   = flag.Bool("nomoa", false, "disable mining on availability")
+		binary  = flag.Bool("binary", false, "confidence-driven building (CONF variant)")
+		noPrune = flag.Bool("noprune", false, "skip cut-optimal pruning")
+		buying  = flag.Bool("buying", false, "buying MOA (spending-preserving) instead of saving MOA")
+		show    = flag.Int("show", 20, "number of top rules to print")
+		demo    = flag.Int("demo", 0, "recommend-and-explain for the first N transactions")
+		save    = flag.String("save", "", "write the built model to this file (servable by profitserve)")
+		report  = flag.Bool("report", false, "print the model summary report")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "profitminer: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, spec, err := profitmining.LoadDataset(*in)
+	if err != nil {
+		fail(err)
+	}
+	var hb *profitmining.HierarchyBuilder
+	if spec != nil {
+		if hb, err = spec.Builder(ds.Catalog); err != nil {
+			fail(err)
+		}
+	}
+	opts := profitmining.Options{
+		MinSupport:     *minsup,
+		MinRuleProfit:  *minprof,
+		MaxBodyLen:     *maxLen,
+		CF:             *cf,
+		DisableMOA:     *noMOA,
+		BinaryProfit:   *binary,
+		DisablePruning: *noPrune,
+		Hierarchy:      hb,
+	}
+	if *buying {
+		opts.Quantity = profitmining.BuyingMOA{}
+	}
+
+	rec, err := profitmining.Build(ds, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	st := rec.Stats()
+	fmt.Printf("dataset: %d transactions, %d items (%d targets), recorded profit %.2f\n",
+		len(ds.Transactions), ds.Catalog.NumItems(), len(ds.Catalog.TargetItems()), ds.RecordedProfit())
+	fmt.Printf("model:   %d rules generated → %d after domination → %d after pruning (tree depth %d)\n",
+		st.RulesGenerated, st.RulesNonDominated, st.RulesFinal, st.TreeDepth)
+	fmt.Printf("         projected profit on covered customers: %.2f\n\n", st.ProjectedProfit)
+
+	if *report {
+		fmt.Println(rec.Report())
+	}
+
+	rules := rec.Rules()
+	n := *show
+	if n > len(rules) {
+		n = len(rules)
+	}
+	fmt.Printf("top %d rules (MPF rank order):\n", n)
+	for i := 0; i < n; i++ {
+		fmt.Printf("%4d. %s\n", i+1, rules[i].String(rec.Space()))
+	}
+
+	if *demo > 0 {
+		fmt.Printf("\nsample recommendations:\n")
+		for i := 0; i < *demo && i < len(ds.Transactions); i++ {
+			r := rec.Recommend(ds.Transactions[i].NonTarget)
+			fmt.Printf("-- transaction %d --\n", i)
+			for _, line := range rec.Explain(r) {
+				fmt.Println(line)
+			}
+		}
+	}
+
+	if *save != "" {
+		if err := profitmining.SaveModel(*save, ds.Catalog, spec, rec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nmodel saved to %s\n", *save)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "profitminer: %v\n", err)
+	os.Exit(1)
+}

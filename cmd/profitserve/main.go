@@ -1,0 +1,79 @@
+// Command profitserve serves a profit-mining recommender over HTTP.
+//
+// Serve a previously saved model:
+//
+//	profitserve -model grocery.pmm -addr :8080
+//
+// Or train on a dataset file and serve in one step:
+//
+//	profitserve -data grocery.pmjl -minsup 0.01 -addr :8080
+//
+// Endpoints: GET /healthz, GET /catalog, GET /rules?limit=N,
+// POST /recommend {"basket":[{"item":"Beer","promoIx":0,"qty":1}],"k":2}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"profitmining"
+	"profitmining/internal/serve"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "saved model file (from profitminer -save)")
+		dataPath  = flag.String("data", "", "dataset file to train on (alternative to -model)")
+		minsup    = flag.Float64("minsup", 0.001, "minimum support when training from -data")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	var (
+		cat *profitmining.Catalog
+		rec *profitmining.Recommender
+		err error
+	)
+	switch {
+	case *modelPath != "" && *dataPath != "":
+		fail(fmt.Errorf("give either -model or -data, not both"))
+	case *modelPath != "":
+		cat, rec, err = profitmining.LoadModel(*modelPath)
+		if err != nil {
+			fail(err)
+		}
+	case *dataPath != "":
+		ds, spec, err := profitmining.LoadDataset(*dataPath)
+		if err != nil {
+			fail(err)
+		}
+		opts := profitmining.Options{MinSupport: *minsup}
+		if spec != nil {
+			if opts.Hierarchy, err = spec.Builder(ds.Catalog); err != nil {
+				fail(err)
+			}
+		}
+		if rec, err = profitmining.Build(ds, opts); err != nil {
+			fail(err)
+		}
+		cat = ds.Catalog
+	default:
+		fmt.Fprintln(os.Stderr, "profitserve: -model or -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	log.Printf("serving %d rules over %d items on %s", rec.Stats().RulesFinal, cat.NumItems(), *addr)
+	srv := serve.New(cat, rec)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "profitserve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+package profitmining
+
+import (
+	"profitmining/internal/eval"
+)
+
+// Evaluation surface: the paper's methodology (5-fold cross-validation,
+// gain, hit rate, hit rate by profit range, the (x,y) purchase-behavior
+// settings) exposed for downstream use. See EXPERIMENTS.md for how these
+// regenerate every figure of the paper.
+type (
+	// Metrics holds pooled evaluation counts; see Gain, HitRate,
+	// RangeHitRate.
+	Metrics = eval.Metrics
+	// EvalOptions configures one evaluation pass (MOA hits, quantity
+	// model, behavior).
+	EvalOptions = eval.Options
+	// Behavior is the stochastic (x,y) purchase model of Section 5.3.
+	Behavior = eval.Behavior
+	// Variant names one of the paper's recommenders (PROF±MOA, CONF±MOA,
+	// kNN, MPI).
+	Variant = eval.Variant
+	// SweepConfig drives RunSweep.
+	SweepConfig = eval.SweepConfig
+	// SweepPoint is one measured figure point.
+	SweepPoint = eval.SweepPoint
+	// SpaceFactory supplies compiled spaces with/without MOA.
+	SpaceFactory = eval.SpaceFactory
+)
+
+// The paper's recommender variants (Section 5.1).
+const (
+	ProfMOA   = eval.ProfMOA
+	ProfNoMOA = eval.ProfNoMOA
+	ConfMOA   = eval.ConfMOA
+	ConfNoMOA = eval.ConfNoMOA
+	KNN       = eval.KNN
+	KNNRerank = eval.KNNRerank
+	MPI       = eval.MPI
+)
+
+// PaperVariants are the six recommenders of Figures 3 and 4.
+var PaperVariants = eval.PaperVariants
+
+// PaperBehavior is the combined (x=2,y=30%)/(x=3,y=40%) setting.
+var PaperBehavior = eval.PaperBehavior
+
+// Evaluate runs a recommender over validation transactions and returns
+// pooled metrics. rec is any func(Basket) (ItemID, PromoID); use
+// RecommenderFunc to adapt a built Recommender.
+func Evaluate(cat *Catalog, validation []Transaction, rec func(Basket) (ItemID, PromoID), opts EvalOptions) Metrics {
+	return eval.Evaluate(cat, validation, rec, opts)
+}
+
+// RecommenderFunc adapts a Recommender to the evaluation interface.
+func RecommenderFunc(r *Recommender) func(Basket) (ItemID, PromoID) {
+	return func(b Basket) (ItemID, PromoID) {
+		rec := r.Recommend(b)
+		return rec.Item, rec.Promo
+	}
+}
+
+// FlatSpaces returns a SpaceFactory over the trivial hierarchy of a
+// catalog — the setting of the paper's synthetic experiments.
+func FlatSpaces(cat *Catalog) SpaceFactory { return eval.FlatSpaces(cat) }
+
+// RunSweep runs the cross-validated (variant × minimum-support ×
+// behavior) sweep behind the paper's figures. See EXPERIMENTS.md.
+func RunSweep(ds *Dataset, spaces SpaceFactory, cfg SweepConfig) ([]SweepPoint, error) {
+	return eval.RunSweep(ds, spaces, cfg)
+}

@@ -1,0 +1,82 @@
+package profitmining_test
+
+import (
+	"fmt"
+
+	"profitmining"
+)
+
+// Example reproduces the paper Introduction's egg-pricing lesson: with
+// half the customers buying eggs per pack (profit $0.50) and half per
+// 4-pack (profit $1.20), a profit-driven recommender offers the 4-pack
+// price to everyone.
+func Example() {
+	cat := profitmining.NewCatalog()
+	bread := cat.AddItem("Bread", false)
+	breadP := cat.AddPromo(bread, 2.0, 1.0, 1)
+	egg := cat.AddItem("Egg", true)
+	eggPack := cat.AddPromo(egg, 1.0, 0.5, 1)
+	egg4 := cat.AddPromo(egg, 3.2, 2.0, 4)
+
+	var txns []profitmining.Transaction
+	for i := 0; i < 100; i++ {
+		txns = append(txns,
+			profitmining.Transaction{
+				NonTarget: []profitmining.Sale{{Item: bread, Promo: breadP, Qty: 1}},
+				Target:    profitmining.Sale{Item: egg, Promo: eggPack, Qty: 1},
+			},
+			profitmining.Transaction{
+				NonTarget: []profitmining.Sale{{Item: bread, Promo: breadP, Qty: 1}},
+				Target:    profitmining.Sale{Item: egg, Promo: egg4, Qty: 1},
+			})
+	}
+
+	ds := &profitmining.Dataset{Catalog: cat, Transactions: txns}
+	rec, err := profitmining.Build(ds, profitmining.Options{MinSupport: 0.01})
+	if err != nil {
+		panic(err)
+	}
+
+	r := rec.Recommend(profitmining.Basket{{Item: bread, Promo: breadP, Qty: 1}})
+	promo := cat.Promo(r.Promo)
+	fmt.Printf("recommend %s at $%.2f per %g-pack (profit $%.2f)\n",
+		cat.Item(r.Item).Name, promo.Price, promo.Packing, promo.Profit())
+	// Output:
+	// recommend Egg at $3.20 per 4-pack (profit $1.20)
+}
+
+// ExampleEvaluate scores a recommender on held-out transactions with the
+// paper's gain and hit-rate metrics.
+func ExampleEvaluate() {
+	g := profitmining.NewGrocery(1000, 42)
+	train := &profitmining.Dataset{Catalog: g.Dataset.Catalog, Transactions: g.Dataset.Transactions[:800]}
+	holdout := g.Dataset.Transactions[800:]
+
+	rec, err := profitmining.Build(train, profitmining.Options{MinSupport: 0.01, Hierarchy: g.Builder})
+	if err != nil {
+		panic(err)
+	}
+	m := profitmining.Evaluate(g.Dataset.Catalog, holdout,
+		profitmining.RecommenderFunc(rec), profitmining.EvalOptions{MOAHits: true})
+	fmt.Printf("validated %d transactions; gain and hit rate are in (0,1]: %v %v\n",
+		m.N, m.Gain() > 0 && m.Gain() <= 1, m.HitRate() > 0 && m.HitRate() <= 1)
+	// Output:
+	// validated 200 transactions; gain and hit rate are in (0,1]: true true
+}
+
+// ExampleRecommender_RecommendTopK recommends several distinct target
+// items for one basket, in most-profitable-first order.
+func ExampleRecommender_RecommendTopK() {
+	g := profitmining.NewGrocery(1000, 42)
+	rec, err := profitmining.Build(g.Dataset, profitmining.Options{MinSupport: 0.01, Hierarchy: g.Builder})
+	if err != nil {
+		panic(err)
+	}
+	basket := profitmining.Basket{{Item: g.Items["Perfume"], Promo: g.Promos["Perfume"], Qty: 1}}
+	for _, r := range rec.RecommendTopK(basket, 2) {
+		fmt.Println(g.Dataset.Catalog.Item(r.Item).Name)
+	}
+	// Output:
+	// Lipstick
+	// Diamond
+}

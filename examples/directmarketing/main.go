@@ -1,0 +1,54 @@
+// Direct marketing: the paper's dataset I scenario — two-target
+// recommendation under cross-validation.
+//
+// "Many important decision makings such as direct marketing are in the
+// form of two-target recommendation" (Section 5.2). This example
+// generates dataset I at laptop scale, builds the cut-optimal recommender
+// and the baselines, and reports gain and hit rate per recommender — a
+// single column of Figure 3(a)/(c).
+//
+// Run with: go run ./examples/directmarketing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"profitmining"
+)
+
+func main() {
+	ds, err := profitmining.GenerateDatasetI(profitmining.QuestConfig{
+		NumTransactions: 8000,
+		NumItems:        200,
+		Seed:            7,
+	}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset I: %d transactions, 2 target items ($2 and $10 cost, 5:1 Zipf), 4 prices each\n",
+		len(ds.Transactions))
+	fmt.Printf("recorded profit: $%.2f\n\n", ds.RecordedProfit())
+
+	points, err := profitmining.RunSweep(ds, profitmining.FlatSpaces(ds.Catalog), profitmining.SweepConfig{
+		Variants:    profitmining.PaperVariants,
+		MinSupports: []float64{0.002},
+		Folds:       5,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %8s %9s %10s\n", "variant", "gain", "hit rate", "rules")
+	for _, p := range points {
+		rules := "-"
+		if p.Variant.RuleBased() {
+			rules = fmt.Sprintf("%.0f", p.Info.RulesFinal)
+		}
+		fmt.Printf("%-10s %8.4f %8.1f%% %10s\n",
+			p.Variant, p.Metrics.Gain(), 100*p.Metrics.HitRate(), rules)
+	}
+	fmt.Println("\n(PROF+MOA should lead on gain; CONF variants chase hit rate;")
+	fmt.Println(" MPI recommends one fixed pair; kNN has no price model.)")
+}

@@ -1,0 +1,57 @@
+package profitmining
+
+import (
+	"profitmining/internal/datagen"
+	"profitmining/internal/quest"
+)
+
+// QuestConfig parameterizes the bundled IBM-Quest synthetic transaction
+// generator (Agrawal–Srikant VLDB '94). Zero fields take the classical
+// defaults the paper uses: 100K transactions, 1000 items, average
+// transaction size 10, average pattern size 4, 2000 patterns.
+type QuestConfig = quest.Config
+
+// TargetSpec describes one synthetic target item.
+type TargetSpec = datagen.TargetSpec
+
+// SyntheticConfig parameterizes synthetic dataset generation: Quest
+// transactions over the non-target items, the m-price ladder
+// P_j = (1 + j·δ)·Cost, and the target items with their sales weights.
+type SyntheticConfig = datagen.Config
+
+// GenerateDatasetI builds the paper's dataset I (Section 5.2): two target
+// items costing $2 and $10, the cheaper selling five times as often
+// (Zipf). seed drives price selection and target sampling; q.Seed drives
+// the transaction generator.
+func GenerateDatasetI(q QuestConfig, seed int64) (*Dataset, error) {
+	return datagen.Generate(datagen.DatasetIConfig(q, seed))
+}
+
+// GenerateDatasetII builds the paper's dataset II: ten target items
+// costing 10·i with normally distributed sales frequencies around the
+// middle items.
+func GenerateDatasetII(q QuestConfig, seed int64) (*Dataset, error) {
+	return datagen.Generate(datagen.DatasetIIConfig(q, seed))
+}
+
+// GenerateSynthetic builds a synthetic dataset from an explicit
+// configuration (custom targets, price ladder, costs).
+func GenerateSynthetic(cfg SyntheticConfig) (*Dataset, error) {
+	return datagen.Generate(cfg)
+}
+
+// Grocery is the bundled hand-built retail dataset with a real concept
+// hierarchy, used by the examples; see its fields for handles into the
+// catalog.
+type Grocery = datagen.Grocery
+
+// NewGrocery builds the grocery dataset with n transactions.
+func NewGrocery(n int, seed int64) *Grocery { return datagen.NewGrocery(n, seed) }
+
+// SyntheticHierarchy builds a balanced multi-level concept hierarchy over
+// a catalog's non-target items (groups of fanout under "g1-…" concepts,
+// grouped again under "g2-…", and so on) — the multi-level mining
+// structure of [SA95, HF95] for otherwise flat synthetic catalogs.
+func SyntheticHierarchy(cat *Catalog, fanout int) *HierarchyBuilder {
+	return datagen.SyntheticHierarchy(cat, fanout)
+}

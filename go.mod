@@ -1,0 +1,3 @@
+module profitmining
+
+go 1.22

@@ -1,0 +1,212 @@
+package baseline
+
+import (
+	"testing"
+
+	"profitmining/internal/model"
+)
+
+type fixture struct {
+	cat  *model.Catalog
+	item map[string]model.ItemID
+	pr   map[string]model.PromoID
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{cat: model.NewCatalog(), item: map[string]model.ItemID{}, pr: map[string]model.PromoID{}}
+	add := func(name string, target bool, price, cost float64) {
+		id := f.cat.AddItem(name, target)
+		f.item[name] = id
+		f.pr[name] = f.cat.AddPromo(id, price, cost, 1)
+	}
+	add("Bread", false, 2, 1)
+	add("Beer", false, 9, 5)
+	add("Perfume", false, 30, 10)
+	add("Chips", true, 4, 2)        // profit 2
+	add("Diamond", true, 1000, 700) // profit 300
+	return f
+}
+
+func (f *fixture) txn(target string, qty float64, nonTarget ...string) model.Transaction {
+	t := model.Transaction{Target: model.Sale{Item: f.item[target], Promo: f.pr[target], Qty: qty}}
+	for _, nt := range nonTarget {
+		t.NonTarget = append(t.NonTarget, model.Sale{Item: f.item[nt], Promo: f.pr[nt], Qty: 1})
+	}
+	return t
+}
+
+func (f *fixture) basket(items ...string) model.Basket {
+	var b model.Basket
+	for _, it := range items {
+		b = append(b, model.Sale{Item: f.item[it], Promo: f.pr[it], Qty: 1})
+	}
+	return b
+}
+
+func TestKNNVotesByNeighborhood(t *testing.T) {
+	f := newFixture(t)
+	var txns []model.Transaction
+	// Beer+bread people buy chips; perfume people buy diamonds.
+	for i := 0; i < 10; i++ {
+		txns = append(txns, f.txn("Chips", 1, "Beer", "Bread"))
+		txns = append(txns, f.txn("Diamond", 1, "Perfume"))
+	}
+	knn, err := TrainKNN(f.cat, txns, KNNConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item, _ := knn.Recommend(f.basket("Beer", "Bread")); item != f.item["Chips"] {
+		t.Errorf("beer basket → %v, want Chips", f.cat.Item(item).Name)
+	}
+	if item, _ := knn.Recommend(f.basket("Perfume")); item != f.item["Diamond"] {
+		t.Errorf("perfume basket → %v, want Diamond", f.cat.Item(item).Name)
+	}
+}
+
+func TestKNNMajorityBeatsMinority(t *testing.T) {
+	f := newFixture(t)
+	var txns []model.Transaction
+	// Same basket, 8:2 split between chips and diamond.
+	for i := 0; i < 8; i++ {
+		txns = append(txns, f.txn("Chips", 1, "Beer"))
+	}
+	for i := 0; i < 2; i++ {
+		txns = append(txns, f.txn("Diamond", 1, "Beer"))
+	}
+	knn, err := TrainKNN(f.cat, txns, KNNConfig{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item, _ := knn.Recommend(f.basket("Beer")); item != f.item["Chips"] {
+		t.Error("kNN must follow the majority vote (hit rate, not profit)")
+	}
+
+	// The profit-rerank variant flips to the diamond.
+	rr, err := TrainKNN(f.cat, txns, KNNConfig{K: 10, ProfitRerank: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item, _ := rr.Recommend(f.basket("Beer")); item != f.item["Diamond"] {
+		t.Error("profit-rerank kNN must pick the most profitable neighbor")
+	}
+}
+
+func TestKNNSimilarityWeighting(t *testing.T) {
+	f := newFixture(t)
+	txns := []model.Transaction{
+		// Exact single-item basket match (similarity 1).
+		f.txn("Chips", 1, "Beer"),
+		// Two-item transaction is less similar to a beer-only query
+		// (cos = 1/√2).
+		f.txn("Diamond", 1, "Beer", "Perfume"),
+	}
+	knn, err := TrainKNN(f.cat, txns, KNNConfig{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item, _ := knn.Recommend(f.basket("Beer")); item != f.item["Chips"] {
+		t.Error("k=1 must pick the cosine-nearest transaction")
+	}
+}
+
+func TestKNNFallbacks(t *testing.T) {
+	f := newFixture(t)
+	txns := []model.Transaction{
+		f.txn("Chips", 1, "Beer"),
+		f.txn("Diamond", 1, "Perfume"),
+	}
+	knn, err := TrainKNN(f.cat, txns, KNNConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knn.K() != 5 {
+		t.Errorf("default K = %d, want 5", knn.K())
+	}
+	// Basket sharing nothing with training: global most-profitable target.
+	if item, _ := knn.Recommend(f.basket("Bread")); item != f.item["Diamond"] {
+		t.Error("disjoint basket must fall back to most profitable target")
+	}
+	// Empty basket too.
+	if item, _ := knn.Recommend(nil); item != f.item["Diamond"] {
+		t.Error("empty basket must fall back")
+	}
+}
+
+func TestKNNDeterministicTies(t *testing.T) {
+	f := newFixture(t)
+	txns := []model.Transaction{
+		f.txn("Chips", 1, "Beer"),
+		f.txn("Diamond", 1, "Beer"),
+	}
+	knn, err := TrainKNN(f.cat, txns, KNNConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, p1 := knn.Recommend(f.basket("Beer"))
+	for trial := 0; trial < 20; trial++ {
+		i2, p2 := knn.Recommend(f.basket("Beer"))
+		if i1 != i2 || p1 != p2 {
+			t.Fatal("tie-breaking is not deterministic")
+		}
+	}
+}
+
+func TestKNNErrors(t *testing.T) {
+	f := newFixture(t)
+	if _, err := TrainKNN(f.cat, nil, KNNConfig{}); err == nil {
+		t.Error("no transactions must fail")
+	}
+	if _, err := TrainKNN(f.cat, []model.Transaction{f.txn("Chips", 1, "Beer")}, KNNConfig{K: -1}); err == nil {
+		t.Error("negative k must fail")
+	}
+}
+
+func TestMPI(t *testing.T) {
+	f := newFixture(t)
+	var txns []model.Transaction
+	// Chips: 20 sales × profit 2 = 40. Diamond: 1 sale × 300 = 300.
+	for i := 0; i < 20; i++ {
+		txns = append(txns, f.txn("Chips", 1, "Beer"))
+	}
+	txns = append(txns, f.txn("Diamond", 1, "Perfume"))
+
+	mpi, err := TrainMPI(f.cat, txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, promo := mpi.Recommend(f.basket("Beer"))
+	if item != f.item["Diamond"] || promo != f.pr["Diamond"] {
+		t.Errorf("MPI = %v, want Diamond (total profit 300 > 40)", f.cat.Item(item).Name)
+	}
+	if mpi.TrainingProfit() != 300 {
+		t.Errorf("TrainingProfit = %g, want 300", mpi.TrainingProfit())
+	}
+	// Basket-independent.
+	i2, p2 := mpi.Recommend(nil)
+	if i2 != item || p2 != promo {
+		t.Error("MPI must ignore the basket")
+	}
+}
+
+func TestMPIQuantityMatters(t *testing.T) {
+	f := newFixture(t)
+	txns := []model.Transaction{
+		f.txn("Chips", 200, "Beer"),    // 200 × 2 = 400
+		f.txn("Diamond", 1, "Perfume"), // 300
+	}
+	mpi, err := TrainMPI(f.cat, txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item, _ := mpi.Recommend(nil); item != f.item["Chips"] {
+		t.Error("MPI must account for quantity in recorded profit")
+	}
+}
+
+func TestMPIErrors(t *testing.T) {
+	f := newFixture(t)
+	if _, err := TrainMPI(f.cat, nil); err == nil {
+		t.Error("no transactions must fail")
+	}
+}

@@ -1,0 +1,226 @@
+// Package baseline implements the comparison recommenders of the paper's
+// evaluation (Section 5.1): a k-nearest-neighbor recommender tailored to
+// sparse basket data in the spirit of [YP97], and MPI, the
+// most-profitable-item recommender.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"profitmining/internal/model"
+)
+
+// KNN is a k-nearest-neighbor recommender over sparse baskets: a query
+// basket is compared to every training transaction by cosine similarity
+// of their binary item vectors, and the k most similar transactions vote
+// for their target ⟨item, promotion⟩ pairs with similarity weights.
+//
+// The paper's modification for profit mining — using MOA to decide
+// whether a recommendation hits — lives in the evaluation harness; KNN
+// itself is a pure hit-rate maximizer, which is exactly why it loses in
+// high-profit ranges (Figure 3(d)).
+type KNN struct {
+	k           int
+	rerank      bool // post-processing variant: pick the most profitable neighbor vote
+	cat         *model.Catalog
+	txns        []model.Transaction
+	itemSets    [][]model.ItemID         // sorted distinct items per training txn
+	index       map[model.ItemID][]int32 // inverted index: item → txns containing it
+	targetValue []float64                // recorded profit of each txn's target sale
+
+	// idf holds per-item inverse-document-frequency weights when IDF
+	// weighting is enabled (nil otherwise), and norm the per-transaction
+	// weighted vector norms.
+	idf  map[model.ItemID]float64
+	norm []float64
+}
+
+// KNNConfig configures TrainKNN.
+type KNNConfig struct {
+	// K is the number of neighbors (default 5, the paper's best value).
+	K int
+	// ProfitRerank enables the post-processing variant of Section 5.3:
+	// among the k neighbors, recommend the target sale with the highest
+	// recorded profit instead of the highest vote.
+	ProfitRerank bool
+	// IDF weights items by log(N/df) in the cosine similarity, the
+	// standard sparse-text treatment of [YP97]: ubiquitous items carry
+	// less similarity signal than rare ones.
+	IDF bool
+}
+
+// TrainKNN indexes the training transactions.
+func TrainKNN(cat *model.Catalog, txns []model.Transaction, cfg KNNConfig) (*KNN, error) {
+	if len(txns) == 0 {
+		return nil, fmt.Errorf("baseline: no training transactions")
+	}
+	k := cfg.K
+	if k == 0 {
+		k = 5
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k %d must be positive", k)
+	}
+	knn := &KNN{
+		k:           k,
+		rerank:      cfg.ProfitRerank,
+		cat:         cat,
+		txns:        txns,
+		itemSets:    make([][]model.ItemID, len(txns)),
+		index:       make(map[model.ItemID][]int32),
+		targetValue: make([]float64, len(txns)),
+	}
+	for i := range txns {
+		items := distinctItems(txns[i].NonTarget)
+		knn.itemSets[i] = items
+		for _, it := range items {
+			knn.index[it] = append(knn.index[it], int32(i))
+		}
+		knn.targetValue[i] = cat.SaleProfit(txns[i].Target)
+	}
+	if cfg.IDF {
+		knn.idf = make(map[model.ItemID]float64, len(knn.index))
+		n := float64(len(txns))
+		for it, posting := range knn.index {
+			knn.idf[it] = math.Log(n / float64(len(posting)))
+		}
+		knn.norm = make([]float64, len(txns))
+		for i, items := range knn.itemSets {
+			var ss float64
+			for _, it := range items {
+				w := knn.idf[it]
+				ss += w * w
+			}
+			knn.norm[i] = math.Sqrt(ss)
+		}
+	}
+	return knn, nil
+}
+
+func distinctItems(sales []model.Sale) []model.ItemID {
+	items := make([]model.ItemID, 0, len(sales))
+	for _, s := range sales {
+		items = append(items, s.Item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	w := 0
+	for i, it := range items {
+		if i == 0 || it != items[w-1] {
+			items[w] = it
+			w++
+		}
+	}
+	return items[:w]
+}
+
+// neighbor is one scored training transaction.
+type neighbor struct {
+	txn int32
+	sim float64
+}
+
+// Recommend returns the voted ⟨item, promotion⟩ for the basket. A basket
+// sharing no item with any training transaction falls back to the most
+// profitable recorded target sale (KNN has no model to fall back on; the
+// paper's kNN always answers, so ties are broken globally).
+func (knn *KNN) Recommend(basket model.Basket) (model.ItemID, model.PromoID) {
+	q := distinctItems(basket)
+	neighbors := knn.nearest(q)
+	if len(neighbors) == 0 {
+		best := 0
+		for i := 1; i < len(knn.txns); i++ {
+			if knn.targetValue[i] > knn.targetValue[best] {
+				best = i
+			}
+		}
+		t := knn.txns[best].Target
+		return t.Item, t.Promo
+	}
+
+	if knn.rerank {
+		// Post-processing: most profitable recorded target among the
+		// neighbors.
+		best := neighbors[0]
+		for _, nb := range neighbors[1:] {
+			if knn.targetValue[nb.txn] > knn.targetValue[best.txn] {
+				best = nb
+			}
+		}
+		t := knn.txns[best.txn].Target
+		return t.Item, t.Promo
+	}
+
+	// Similarity-weighted voting per ⟨item, promo⟩.
+	type headKey struct {
+		item  model.ItemID
+		promo model.PromoID
+	}
+	votes := make(map[headKey]float64, len(neighbors))
+	for _, nb := range neighbors {
+		t := knn.txns[nb.txn].Target
+		votes[headKey{t.Item, t.Promo}] += nb.sim
+	}
+	var bestKey headKey
+	bestVote := math.Inf(-1)
+	for k, v := range votes {
+		if v > bestVote || (v == bestVote && (k.item < bestKey.item || (k.item == bestKey.item && k.promo < bestKey.promo))) {
+			bestKey, bestVote = k, v
+		}
+	}
+	return bestKey.item, bestKey.promo
+}
+
+// nearest returns up to k neighbors by cosine similarity (ties broken by
+// transaction index for determinism).
+func (knn *KNN) nearest(q []model.ItemID) []neighbor {
+	if len(q) == 0 {
+		return nil
+	}
+	// Accumulate the (possibly IDF-weighted) dot product per candidate.
+	overlap := make(map[int32]float64)
+	var qn float64
+	for _, it := range q {
+		w := 1.0
+		if knn.idf != nil {
+			w = knn.idf[it] // items unseen in training weigh 0
+		}
+		qn += w * w
+		if w == 0 {
+			continue
+		}
+		for _, ti := range knn.index[it] {
+			overlap[ti] += w * w
+		}
+	}
+	if len(overlap) == 0 || qn == 0 {
+		return nil
+	}
+	qn = math.Sqrt(qn)
+	cands := make([]neighbor, 0, len(overlap))
+	for ti, dot := range overlap {
+		tn := math.Sqrt(float64(len(knn.itemSets[ti])))
+		if knn.norm != nil {
+			tn = knn.norm[ti]
+		}
+		if tn == 0 {
+			continue
+		}
+		sim := dot / (qn * tn)
+		cands = append(cands, neighbor{txn: ti, sim: sim})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		return cands[i].txn < cands[j].txn
+	})
+	if len(cands) > knn.k {
+		cands = cands[:knn.k]
+	}
+	return cands
+}
+
+// K returns the configured neighbor count.
+func (knn *KNN) K() int { return knn.k }

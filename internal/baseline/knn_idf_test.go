@@ -1,0 +1,65 @@
+package baseline
+
+import (
+	"testing"
+
+	"profitmining/internal/model"
+)
+
+// TestKNNIDFDownweightsUbiquitousItems: a rare shared item should beat a
+// ubiquitous shared item under IDF weighting.
+func TestKNNIDFDownweightsUbiquitousItems(t *testing.T) {
+	f := newFixture(t)
+	var txns []model.Transaction
+	// Bread appears in every transaction (idf 0 → no signal); Beer and
+	// Perfume are discriminative.
+	for i := 0; i < 10; i++ {
+		txns = append(txns, f.txn("Chips", 1, "Bread", "Beer"))
+		txns = append(txns, f.txn("Diamond", 1, "Bread", "Perfume"))
+	}
+	knn, err := TrainKNN(f.cat, txns, KNNConfig{K: 3, IDF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A basket with the ubiquitous item plus the diamond signal: plain
+	// cosine is ambiguous (both neighbor groups share Bread), IDF is not.
+	if item, _ := knn.Recommend(f.basket("Bread", "Perfume")); item != f.item["Diamond"] {
+		t.Errorf("IDF kNN recommended %v, want Diamond", f.cat.Item(item).Name)
+	}
+	if item, _ := knn.Recommend(f.basket("Bread", "Beer")); item != f.item["Chips"] {
+		t.Errorf("IDF kNN recommended %v, want Chips", f.cat.Item(item).Name)
+	}
+}
+
+func TestKNNIDFZeroSignalFallsBack(t *testing.T) {
+	f := newFixture(t)
+	var txns []model.Transaction
+	for i := 0; i < 4; i++ {
+		txns = append(txns, f.txn("Chips", 1, "Bread"))
+	}
+	txns = append(txns, f.txn("Diamond", 1, "Bread"))
+	knn, err := TrainKNN(f.cat, txns, KNNConfig{K: 2, IDF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bread is in every transaction → idf 0 → no neighbors; the global
+	// most-profitable fallback (Diamond, 300 > 4×2) answers.
+	if item, _ := knn.Recommend(f.basket("Bread")); item != f.item["Diamond"] {
+		t.Errorf("zero-signal basket → %v, want the fallback", f.cat.Item(item).Name)
+	}
+}
+
+func TestKNNIDFStillMatchesPartialBaskets(t *testing.T) {
+	f := newFixture(t)
+	txns := []model.Transaction{
+		f.txn("Chips", 1, "Beer", "Bread"),
+		f.txn("Diamond", 1, "Perfume"),
+	}
+	knn, err := TrainKNN(f.cat, txns, KNNConfig{K: 1, IDF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item, _ := knn.Recommend(f.basket("Beer")); item != f.item["Chips"] {
+		t.Error("IDF kNN lost a discriminative single-item match")
+	}
+}

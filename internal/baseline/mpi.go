@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"fmt"
+
+	"profitmining/internal/model"
+)
+
+// MPI is the most-profitable-item recommender: it always recommends the
+// ⟨target item, promotion code⟩ pair that generated the most recorded
+// profit in the training transactions (Section 5.1). It ignores the
+// basket entirely — the global action with no per-customer structure.
+type MPI struct {
+	item  model.ItemID
+	promo model.PromoID
+	total float64
+}
+
+// TrainMPI scans the training transactions for the most profitable pair.
+func TrainMPI(cat *model.Catalog, txns []model.Transaction) (*MPI, error) {
+	if len(txns) == 0 {
+		return nil, fmt.Errorf("baseline: no training transactions")
+	}
+	type key struct {
+		item  model.ItemID
+		promo model.PromoID
+	}
+	totals := map[key]float64{}
+	for i := range txns {
+		t := txns[i].Target
+		totals[key{t.Item, t.Promo}] += cat.SaleProfit(t)
+	}
+	var best key
+	bestTotal := 0.0
+	first := true
+	for k, v := range totals {
+		if first || v > bestTotal ||
+			(v == bestTotal && (k.item < best.item || (k.item == best.item && k.promo < best.promo))) {
+			best, bestTotal = k, v
+			first = false
+		}
+	}
+	return &MPI{item: best.item, promo: best.promo, total: bestTotal}, nil
+}
+
+// Recommend returns the fixed most-profitable pair for any basket.
+func (m *MPI) Recommend(model.Basket) (model.ItemID, model.PromoID) {
+	return m.item, m.promo
+}
+
+// TrainingProfit returns the recorded profit the chosen pair generated in
+// training.
+func (m *MPI) TrainingProfit() float64 { return m.total }

@@ -1,0 +1,45 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"profitmining/internal/model"
+)
+
+// Random recommends a uniformly random ⟨target item, promotion code⟩ —
+// the sanity floor for the evaluation harness: any model worth reporting
+// must clear it. It is deterministic for a given seed and safe for
+// concurrent use.
+type Random struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	heads []model.Sale // item+promo pairs, Qty unused
+}
+
+// NewRandom enumerates the possible recommendations from the catalog.
+func NewRandom(cat *model.Catalog, seed int64) (*Random, error) {
+	var heads []model.Sale
+	for _, item := range cat.TargetItems() {
+		for _, pid := range cat.Promos(item) {
+			heads = append(heads, model.Sale{Item: item, Promo: pid})
+		}
+	}
+	if len(heads) == 0 {
+		return nil, fmt.Errorf("baseline: catalog has no target promotion codes")
+	}
+	return &Random{rng: rand.New(rand.NewSource(seed)), heads: heads}, nil
+}
+
+// Recommend returns a random pair, ignoring the basket.
+func (r *Random) Recommend(model.Basket) (model.ItemID, model.PromoID) {
+	r.mu.Lock()
+	h := r.heads[r.rng.Intn(len(r.heads))]
+	r.mu.Unlock()
+	return h.Item, h.Promo
+}
+
+// NumHeads returns the number of possible recommendations — the paper's
+// "random hit rate is 1/40" denominator for dataset II.
+func (r *Random) NumHeads() int { return len(r.heads) }

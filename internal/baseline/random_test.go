@@ -1,0 +1,45 @@
+package baseline
+
+import (
+	"testing"
+
+	"profitmining/internal/model"
+)
+
+func TestRandomBaseline(t *testing.T) {
+	f := newFixture(t)
+	r, err := NewRandom(f.cat, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chips and Diamond each have one promo → 2 heads.
+	if r.NumHeads() != 2 {
+		t.Fatalf("NumHeads = %d, want 2", r.NumHeads())
+	}
+	counts := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		item, promo := r.Recommend(nil)
+		if !f.cat.Item(item).Target {
+			t.Fatal("random baseline recommended a non-target")
+		}
+		if f.cat.Promo(promo).Item != item {
+			t.Fatal("promo/item mismatch")
+		}
+		counts[f.cat.Item(item).Name]++
+	}
+	// Uniform over heads: each ≈ 1000.
+	for name, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("%s recommended %d times, want ≈1000", name, c)
+		}
+	}
+}
+
+func TestRandomBaselineNoTargets(t *testing.T) {
+	cat := model.NewCatalog()
+	it := cat.AddItem("OnlyNonTarget", false)
+	cat.AddPromo(it, 1, 0.5, 1)
+	if _, err := NewRandom(cat, 1); err == nil {
+		t.Error("catalog without targets must fail")
+	}
+}

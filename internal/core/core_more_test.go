@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"profitmining/internal/mining"
+	"profitmining/internal/model"
+)
+
+// TestPrunedCoversAreExhaustive: after pruning, the union of covers must
+// still be exactly the training transactions (merging moves, never drops).
+func TestPrunedCoversAreExhaustive(t *testing.T) {
+	s := newShop(t)
+	var txns []model.Transaction
+	for i := 0; i < 40; i++ {
+		txns = append(txns, s.txn("Lipstick", "Perfume"))
+		txns = append(txns, s.txn("Egg@3.2", "Bread"))
+		txns = append(txns, s.txn("Egg@1", "Bread", "Beer"))
+	}
+	rec := buildShop(t, s, txns, Config{}, mining.Options{MinSupportCount: 1})
+
+	seen := map[int32]int{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, ti := range n.Cover {
+			seen[ti]++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(rec.Tree())
+	if len(seen) != len(txns) {
+		t.Fatalf("covers hold %d distinct transactions, want %d", len(seen), len(txns))
+	}
+	for ti, n := range seen {
+		if n != 1 {
+			t.Errorf("transaction %d covered %d times", ti, n)
+		}
+	}
+}
+
+func TestExplainDefaultOnly(t *testing.T) {
+	s := newShop(t)
+	// One transaction: pruning collapses to (or near) the default.
+	txns := []model.Transaction{s.txn("Lipstick", "Perfume")}
+	rec := buildShop(t, s, txns, Config{}, mining.Options{MinSupportCount: 1})
+	r := rec.Recommend(nil)
+	lines := rec.Explain(r)
+	if len(lines) != 1 {
+		t.Errorf("default-rule explanation = %d lines, want exactly the firing line", len(lines))
+	}
+}
+
+func TestRecommendDeterministic(t *testing.T) {
+	s := newShop(t)
+	var txns []model.Transaction
+	for i := 0; i < 30; i++ {
+		txns = append(txns, s.txn("Lipstick", "Perfume"))
+		txns = append(txns, s.txn("Diamond", "Perfume", "Beer"))
+	}
+	rec := buildShop(t, s, txns, Config{Prune: PruneOff}, mining.Options{MinSupportCount: 1})
+	basket := model.Basket{
+		{Item: s.item["Perfume"], Promo: s.pr["Perfume"], Qty: 1},
+		{Item: s.item["Beer"], Promo: s.pr["Beer"], Qty: 1},
+	}
+	first := rec.Recommend(basket)
+	for i := 0; i < 50; i++ {
+		if got := rec.Recommend(basket); got != first {
+			t.Fatal("Recommend is not deterministic")
+		}
+	}
+}
+
+// TestConcurrentRecommend exercises the documented thread-safety of a
+// built recommender.
+func TestConcurrentRecommend(t *testing.T) {
+	s := newShop(t)
+	var txns []model.Transaction
+	for i := 0; i < 50; i++ {
+		txns = append(txns, s.txn("Lipstick", "Perfume"))
+		txns = append(txns, s.txn("Egg@3.2", "Bread"))
+	}
+	rec := buildShop(t, s, txns, Config{}, mining.Options{MinSupportCount: 1})
+	baskets := []model.Basket{
+		{{Item: s.item["Perfume"], Promo: s.pr["Perfume"], Qty: 1}},
+		{{Item: s.item["Bread"], Promo: s.pr["Bread"], Qty: 1}},
+		nil,
+	}
+	want := make([]Recommendation, len(baskets))
+	for i, b := range baskets {
+		want[i] = rec.Recommend(b)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				for j, b := range baskets {
+					if got := rec.Recommend(b); got != want[j] {
+						done <- errMismatch
+						return
+					}
+					if top := rec.RecommendTopK(b, 2); len(top) == 0 || top[0] != want[j] {
+						done <- errMismatch
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = errorString("concurrent recommendation mismatch")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

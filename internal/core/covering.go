@@ -1,0 +1,201 @@
+package core
+
+import (
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+	"profitmining/internal/rules"
+	"profitmining/internal/stats"
+)
+
+// Node is one node of the covering tree CT (Definition 8): a rule, the
+// training transactions it covers (those whose MPF recommendation rule it
+// is), and its children — rules whose "next best" fallback it is.
+type Node struct {
+	Rule     *rules.Rule
+	Parent   *Node
+	Children []*Node
+
+	// Cover lists indices (into the training transactions) covered by
+	// this rule. After pruning, a node that absorbed its subtree holds
+	// the union of the subtree's covers.
+	Cover []int32
+
+	// Projected profit Prof_pr of this rule over Cover (Section 4.2).
+	Projected float64
+}
+
+// CoverEvaluator estimates the projected profit of a rule over a set of
+// covered transactions. The production implementation is the pessimistic
+// estimate of Section 4.2; tests substitute synthetic evaluators to check
+// cut optimality in isolation.
+type CoverEvaluator interface {
+	Projected(r *rules.Rule, cover []int32) float64
+}
+
+// pessimisticEvaluator implements the paper's estimate:
+//
+//	Prof_pr(r) = X · Y,  X = N·(1 − U_CF(N, E)),  Y = Σ p(r,t) / hits,
+//
+// where N = |cover|, E = non-hits of r's head on the cover, and p(r,t) is
+// the generated profit of r on t under the configured quantity model.
+type pessimisticEvaluator struct {
+	space    *hierarchy.Space
+	txns     []model.Transaction
+	cf       float64
+	binary   bool
+	quantity model.QuantityModel
+}
+
+func (e *pessimisticEvaluator) Projected(r *rules.Rule, cover []int32) float64 {
+	n := len(cover)
+	if n == 0 {
+		return 0
+	}
+	cat := e.space.Catalog()
+	recPromo := cat.Promo(e.space.PromoOf(r.Head))
+
+	hits := 0
+	var profit float64
+	for _, ti := range cover {
+		t := &e.txns[ti]
+		if !e.space.HeadGeneralizes(r.Head, t.Target) {
+			continue
+		}
+		hits++
+		if e.binary {
+			profit++
+			continue
+		}
+		recorded := cat.Promo(t.Target.Promo)
+		profit += recPromo.Profit() * e.quantity.Quantity(recPromo, recorded, t.Target.Qty)
+	}
+	if hits == 0 {
+		return 0
+	}
+	x := float64(n) * (1 - stats.PessimisticUpper(n, n-hits, e.cf))
+	y := profit / float64(hits)
+	return x * y
+}
+
+// buildCoveringTree constructs CT over the rank-sorted, domination-free
+// rule list rs. The parent of a rule is the highest-ranked rule more
+// general than it (Definition 8); after dominated-rule removal every such
+// rule ranks lower, so walking the rules from lowest rank upwards with an
+// incrementally-filled Matcher answers each parent query as a subset
+// search over the rule's body expansion ("rules more general than r" =
+// "rules whose body ⊆ ExpandBody(body(r))"). Covers are assigned by MPF
+// over the training transactions.
+func buildCoveringTree(space *hierarchy.Space, rs []*rules.Rule, txns []model.Transaction) *Node {
+	nodes := make([]*Node, len(rs))
+	var root *Node
+	for i, r := range rs {
+		nodes[i] = &Node{Rule: r}
+		if r.IsDefault() {
+			root = nodes[i]
+		}
+	}
+	if root == nil {
+		panic("core: rule list has no default rule")
+	}
+	ruleNode := make(map[*rules.Rule]*Node, len(nodes))
+	for _, n := range nodes {
+		ruleNode[n.Rule] = n
+	}
+
+	// rs is rank-sorted; the default rule is last (anything ranked below
+	// the more-general default would have been dominated). Walk upwards.
+	gen := rules.NewMatcher(nil)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		if n != root {
+			parent := gen.Best(rules.ExpandBody(space, n.Rule.Body))
+			if parent == nil {
+				// Unreachable after domination removal; guard anyway.
+				n.Parent = root
+			} else {
+				n.Parent = ruleNode[parent]
+			}
+			n.Parent.Children = append(n.Parent.Children, n)
+		}
+		gen.Insert(n.Rule)
+	}
+
+	// MPF cover assignment.
+	m := rules.NewMatcher(rs)
+	for ti := range txns {
+		expanded := space.ExpandBasket(txns[ti].NonTarget)
+		if best := m.Best(expanded); best != nil {
+			node := ruleNode[best]
+			node.Cover = append(node.Cover, int32(ti))
+		}
+	}
+	return root
+}
+
+// pruneCutOptimal performs the bottom-up traversal of Section 4.2 with the
+// DP reading: at each node, the subtree's best achievable projected profit
+// is Prof_pr(own cover) plus the children's best totals; if collapsing the
+// node to a leaf over the whole subtree cover is at least as good, the
+// subtree is pruned (≥ rather than > keeps the optimal cut as small as
+// possible, Definition 9). It returns the subtree's merged cover and its
+// best projected profit, leaving the tree modified in place.
+func pruneCutOptimal(n *Node, eval CoverEvaluator) (cover []int32, best float64) {
+	n.Projected = eval.Projected(n.Rule, n.Cover)
+	if len(n.Children) == 0 {
+		return n.Cover, n.Projected
+	}
+
+	treeProf := n.Projected
+	merged := n.Cover
+	copied := false
+	for _, c := range n.Children {
+		childCover, childBest := pruneCutOptimal(c, eval)
+		treeProf += childBest
+		if !copied {
+			merged = append([]int32(nil), merged...)
+			copied = true
+		}
+		merged = append(merged, childCover...)
+	}
+
+	leafProf := eval.Projected(n.Rule, merged)
+	if leafProf >= treeProf {
+		n.Children = nil
+		n.Cover = merged
+		n.Projected = leafProf
+		return merged, leafProf
+	}
+	return merged, treeProf
+}
+
+// collectRules gathers the rules remaining in the tree.
+func collectRules(root *Node) []*rules.Rule {
+	var out []*rules.Rule
+	var walk func(*Node)
+	walk = func(n *Node) {
+		out = append(out, n.Rule)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// countNodes returns the number of nodes in the tree.
+func countNodes(root *Node) int {
+	n := 1
+	for _, c := range root.Children {
+		n += countNodes(c)
+	}
+	return n
+}
+
+// treeProjected sums the projected profit over all nodes of the tree.
+func treeProjected(root *Node) float64 {
+	p := root.Projected
+	for _, c := range root.Children {
+		p += treeProjected(c)
+	}
+	return p
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"profitmining/internal/rules"
+)
+
+// fakeEval is a deterministic synthetic evaluator: the projected profit of
+// a (rule, cover) pair is a pseudo-random function of the rule's order and
+// the cover's contents, independent of cover ordering.
+type fakeEval struct{ seed uint64 }
+
+func (f fakeEval) Projected(r *rules.Rule, cover []int32) float64 {
+	sorted := append([]int32(nil), cover...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h := fnv.New64a()
+	var buf [4]byte
+	buf[0], buf[1], buf[2], buf[3] = byte(f.seed), byte(f.seed>>8), byte(r.Order), byte(r.Order>>8)
+	h.Write(buf[:])
+	for _, c := range sorted {
+		buf[0], buf[1], buf[2], buf[3] = byte(c), byte(c>>8), byte(c>>16), byte(c>>24)
+		h.Write(buf[:])
+	}
+	return float64(h.Sum64()%100000) / 1000
+}
+
+// randomTree builds a random covering tree with n nodes; node i has rule
+// Order i and its own singleton cover {i}.
+func randomTree(rng *rand.Rand, n int) (*Node, []*Node) {
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{
+			Rule:  &rules.Rule{Order: i},
+			Cover: []int32{int32(i)},
+		}
+	}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(i)]
+		nodes[i].Parent = p
+		p.Children = append(p.Children, nodes[i])
+	}
+	return nodes[0], nodes
+}
+
+// cloneTree deep-copies a tree (rules shared, structure and covers copied).
+func cloneTree(n *Node) *Node {
+	c := &Node{Rule: n.Rule, Cover: append([]int32(nil), n.Cover...)}
+	for _, ch := range n.Children {
+		cc := cloneTree(ch)
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// subtreeCover returns the union of covers in the subtree at n.
+func subtreeCover(n *Node) []int32 {
+	out := append([]int32(nil), n.Cover...)
+	for _, c := range n.Children {
+		out = append(out, subtreeCover(c)...)
+	}
+	return out
+}
+
+// enumerateCuts returns every cut (frontier) of the tree at n, each as a
+// set of nodes.
+func enumerateCuts(n *Node) [][]*Node {
+	cuts := [][]*Node{{n}} // n itself is a cut of its subtree
+	if len(n.Children) == 0 {
+		return cuts
+	}
+	// Cartesian product of the children's cuts.
+	product := [][]*Node{nil}
+	for _, c := range n.Children {
+		childCuts := enumerateCuts(c)
+		var next [][]*Node
+		for _, p := range product {
+			for _, cc := range childCuts {
+				combined := append(append([]*Node(nil), p...), cc...)
+				next = append(next, combined)
+			}
+		}
+		product = next
+	}
+	cuts = append(cuts, product...)
+	return cuts
+}
+
+// cutValue computes the projected profit of CT_C for a cut: nodes in the
+// cut are evaluated over their subtree cover, strict ancestors over their
+// own cover.
+func cutValue(root *Node, cut []*Node, eval CoverEvaluator) float64 {
+	inCut := map[*Node]bool{}
+	for _, n := range cut {
+		inCut[n] = true
+	}
+	var walk func(n *Node) float64
+	walk = func(n *Node) float64 {
+		if inCut[n] {
+			return eval.Projected(n.Rule, subtreeCover(n))
+		}
+		v := eval.Projected(n.Rule, n.Cover)
+		for _, c := range n.Children {
+			v += walk(c)
+		}
+		return v
+	}
+	return walk(root)
+}
+
+// leaves returns the leaf nodes of the tree — after pruning, exactly the
+// optimal cut.
+func leaves(n *Node) []*Node {
+	if len(n.Children) == 0 {
+		return []*Node{n}
+	}
+	var out []*Node
+	for _, c := range n.Children {
+		out = append(out, leaves(c)...)
+	}
+	return out
+}
+
+func orders(ns []*Node) []int {
+	out := make([]int, len(ns))
+	for i, n := range ns {
+		out[i] = n.Rule.Order
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPruneMatchesBruteForceOptimalCut is the central optimality property:
+// on random trees with random profits, the linear bottom-up pruning must
+// find exactly the maximum-profit cut found by exhaustive enumeration
+// (Theorems 1–2).
+func TestPruneMatchesBruteForceOptimalCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(2002))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(9) // up to 10 nodes keeps enumeration tractable
+		root, _ := randomTree(rng, n)
+		eval := fakeEval{seed: uint64(trial)}
+
+		// Brute force over all cuts.
+		bestVal := math.Inf(-1)
+		var bestCut []*Node
+		for _, cut := range enumerateCuts(root) {
+			v := cutValue(root, cut, eval)
+			switch {
+			case v > bestVal+1e-9:
+				bestVal, bestCut = v, cut
+			case math.Abs(v-bestVal) <= 1e-9 && len(cut) < len(bestCut):
+				bestCut = cut // Definition 9: optimal cut is as small as possible
+			}
+		}
+
+		pruned := cloneTree(root)
+		_, got := pruneCutOptimal(pruned, eval)
+
+		if math.Abs(got-bestVal) > 1e-9 {
+			t.Fatalf("trial %d: pruned profit %g, brute force %g", trial, got, bestVal)
+		}
+		if !equalInts(orders(leaves(pruned)), orders(bestCut)) {
+			t.Fatalf("trial %d: cut %v, brute force %v", trial, orders(leaves(pruned)), orders(bestCut))
+		}
+		// The reported tree total matches the returned best.
+		if math.Abs(treeProjected(pruned)-got) > 1e-9 {
+			t.Fatalf("trial %d: treeProjected %g != best %g", trial, treeProjected(pruned), got)
+		}
+	}
+}
+
+func TestPruneTiePrefersSmallerCut(t *testing.T) {
+	// root(0) with children 1, 2; all profits equal regardless of cover.
+	root := &Node{Rule: &rules.Rule{Order: 0}, Cover: []int32{0}}
+	for i := 1; i <= 2; i++ {
+		c := &Node{Rule: &rules.Rule{Order: i}, Cover: []int32{int32(i)}, Parent: root}
+		root.Children = append(root.Children, c)
+	}
+	// Leaf(root) = 5; tree = 5 (root 1 + children 2+2). Tie → prune.
+	evalTie := tieEval{leaf: 5, perNode: map[int]float64{0: 1, 1: 2, 2: 2}}
+	_, best := pruneCutOptimal(root, evalTie)
+	if len(root.Children) != 0 {
+		t.Error("tie must prune (optimal cut as small as possible)")
+	}
+	if best != 5 {
+		t.Errorf("best = %g, want 5", best)
+	}
+	if len(root.Cover) != 3 {
+		t.Errorf("merged cover = %d txns, want 3", len(root.Cover))
+	}
+}
+
+// tieEval returns perNode values for single-element covers and leaf for
+// merged (multi-element) covers.
+type tieEval struct {
+	leaf    float64
+	perNode map[int]float64
+}
+
+func (e tieEval) Projected(r *rules.Rule, cover []int32) float64 {
+	if len(cover) > 1 {
+		return e.leaf
+	}
+	return e.perNode[r.Order]
+}
+
+func TestPruneKeepsProfitableSubtree(t *testing.T) {
+	// Children are worth more split than merged → no pruning.
+	root := &Node{Rule: &rules.Rule{Order: 0}, Cover: []int32{0}}
+	for i := 1; i <= 2; i++ {
+		c := &Node{Rule: &rules.Rule{Order: i}, Cover: []int32{int32(i)}, Parent: root}
+		root.Children = append(root.Children, c)
+	}
+	eval := tieEval{leaf: 5, perNode: map[int]float64{0: 2, 1: 2, 2: 2}} // tree = 6 > leaf 5
+	_, best := pruneCutOptimal(root, eval)
+	if len(root.Children) != 2 {
+		t.Error("profitable subtree must not be pruned")
+	}
+	if best != 6 {
+		t.Errorf("best = %g, want 6", best)
+	}
+}
+
+func TestCountNodesAndDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	root, nodes := randomTree(rng, 17)
+	if got := countNodes(root); got != 17 {
+		t.Errorf("countNodes = %d, want 17", got)
+	}
+	d := depth(root)
+	maxDepth := 1
+	for _, n := range nodes {
+		dd := 1
+		for p := n.Parent; p != nil; p = p.Parent {
+			dd++
+		}
+		if dd > maxDepth {
+			maxDepth = dd
+		}
+	}
+	if d != maxDepth {
+		t.Errorf("depth = %d, want %d", d, maxDepth)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"profitmining/internal/rules"
+)
+
+// TestPaperFigure2Cuts reconstructs the covering tree of the paper's
+// Figure 2 — a(b(d, e), c(f(h, i), g)) — and checks that cut enumeration
+// produces exactly the cuts the paper lists, and rejects the two listed
+// non-cuts.
+func TestPaperFigure2Cuts(t *testing.T) {
+	mk := func(order int) *Node {
+		return &Node{Rule: &rules.Rule{Order: order}, Cover: []int32{int32(order)}}
+	}
+	// Orders encode names: a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8.
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i"}
+	a, bn, c, d, e, f, g, h, i := mk(0), mk(1), mk(2), mk(3), mk(4), mk(5), mk(6), mk(7), mk(8)
+	link := func(p *Node, children ...*Node) {
+		for _, ch := range children {
+			ch.Parent = p
+			p.Children = append(p.Children, ch)
+		}
+	}
+	link(a, bn, c)
+	link(bn, d, e)
+	link(c, f, g)
+	link(f, h, i)
+
+	var got []string
+	for _, cut := range enumerateCuts(a) {
+		var labels []string
+		for _, n := range cut {
+			labels = append(labels, names[n.Rule.Order])
+		}
+		sort.Strings(labels)
+		got = append(got, strings.Join(labels, ","))
+	}
+	sort.Strings(got)
+
+	want := []string{
+		"a",
+		"b,c",
+		"b,f,g",
+		"b,g,h,i",
+		"c,d,e",
+		"d,e,f,g",
+		"d,e,g,h,i",
+	}
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %d cuts %v, paper lists %d", len(got), got, len(want))
+	}
+	for idx := range want {
+		if got[idx] != want[idx] {
+			t.Fatalf("cuts = %v, want %v", got, want)
+		}
+	}
+
+	// The paper's non-examples are not cuts: {a,b} has two nodes on the
+	// a→b→… paths; {d,e,f} misses the c→g path.
+	for _, bad := range []string{"a,b", "d,e,f"} {
+		for _, cutStr := range got {
+			if cutStr == bad {
+				t.Errorf("%q enumerated but the paper says it is not a cut", bad)
+			}
+		}
+	}
+
+	// Pruning at cut {d,e,c} (the paper's right-hand figure): force the
+	// evaluator to favor collapsing c's subtree but keep b's.
+	eval := figure2Eval{
+		// Leaf values over merged covers: c absorbing {f,g,h,i} pays off;
+		// b as a leaf does not; a as a leaf does not.
+		leaf: map[int]float64{0: 1, 1: 1, 2: 100, 5: 1},
+		node: map[int]float64{0: 5, 1: 5, 2: 5, 3: 5, 4: 5, 5: 5, 6: 5, 7: 5, 8: 5},
+	}
+	pruneCutOptimal(a, eval)
+	var leavesOf []string
+	for _, n := range leaves(a) {
+		leavesOf = append(leavesOf, names[n.Rule.Order])
+	}
+	sort.Strings(leavesOf)
+	if strings.Join(leavesOf, ",") != "c,d,e" {
+		t.Errorf("pruned to cut %v, want the paper's {d,e,c}", leavesOf)
+	}
+	// c absorbed the covers of f, g, h, i plus its own.
+	for _, n := range leaves(a) {
+		if n.Rule.Order == 2 && len(n.Cover) != 5 {
+			t.Errorf("c covers %d transactions after pruning, want 5", len(n.Cover))
+		}
+	}
+}
+
+// figure2Eval scores single-cover nodes by node[order] and merged covers
+// by leaf[order] (defaulting low so unlisted merges never pay off).
+type figure2Eval struct {
+	leaf map[int]float64
+	node map[int]float64
+}
+
+func (e figure2Eval) Projected(r *rules.Rule, cover []int32) float64 {
+	if len(cover) > 1 {
+		return e.leaf[r.Order]
+	}
+	return e.node[r.Order]
+}

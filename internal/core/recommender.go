@@ -1,0 +1,314 @@
+// Package core implements the paper's primary contribution: the MPF
+// recommender over profit-sensitive generalized association rules and its
+// cut-optimal pruning (Sections 3.2 and 4).
+//
+// Build takes the mined rule set R (see internal/mining), removes rules
+// that can never fire, arranges the survivors into the covering tree of
+// Definition 8, and prunes the tree bottom-up to the unique optimal cut
+// of Definition 9, maximizing the pessimistically projected profit on
+// future customers. The resulting Recommender answers Recommend queries
+// by most-profitable-first rule selection (Definition 6).
+package core
+
+import (
+	"fmt"
+
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/mining"
+	"profitmining/internal/model"
+	"profitmining/internal/rules"
+	"profitmining/internal/stats"
+)
+
+// Config controls recommender construction.
+type Config struct {
+	// CF is the confidence level of the pessimistic estimate U_CF
+	// (default stats.DefaultCF = 0.25, as in C4.5).
+	CF float64
+
+	// Prune enables cut-optimal pruning. PruneOff keeps the full MPF
+	// recommender of Section 3 (used by tests and ablations).
+	Prune PruneMode
+
+	// BinaryProfit must match the mining option: p(r,t) ∈ {0,1}. It makes
+	// the projected profit a projected hit count (the CONF variants).
+	BinaryProfit bool
+
+	// Quantity must match the mining option (default model.SavingMOA).
+	Quantity model.QuantityModel
+
+	// MinInterest, when above 1, drops rules whose recommendation profit
+	// does not beat every more general rule's by this factor before the
+	// covering tree is built — the R-interest filter of [SA95] adapted to
+	// Prof_re (see rules.FilterInteresting). 0 disables it.
+	MinInterest float64
+}
+
+// PruneMode selects whether Build prunes the covering tree.
+type PruneMode int
+
+const (
+	// PruneCutOptimal applies the bottom-up optimal-cut pruning (default).
+	PruneCutOptimal PruneMode = iota
+	// PruneOff keeps every non-dominated rule.
+	PruneOff
+)
+
+// BuildStats reports what construction did.
+type BuildStats struct {
+	RulesGenerated    int     // mined rules incl. the default rule
+	RulesNonDominated int     // after removing rules that can never fire
+	RulesFinal        int     // after cut-optimal pruning
+	ProjectedProfit   float64 // Σ Prof_pr over the final tree
+	TreeDepth         int
+}
+
+// Recommender is the built model: a pruned rule set with MPF selection.
+// It is immutable and safe for concurrent use.
+type Recommender struct {
+	space   *hierarchy.Space
+	final   []*rules.Rule
+	matcher *rules.Matcher
+	tree    *Node
+	stats   BuildStats
+
+	// alternates holds, per target item, the non-dominated rules for that
+	// item alone. RecommendTopK uses it to offer a distinct best rule per
+	// item even when global MPF domination kept only one head per body.
+	alternates *rules.Matcher
+}
+
+// Recommendation is one recommended (target item, promotion code) pair
+// together with the rule that produced it, for explanation (Requirement 5
+// of Section 1.2).
+type Recommendation struct {
+	Item  model.ItemID
+	Promo model.PromoID
+	Rule  *rules.Rule
+}
+
+// Build constructs the recommender from mined rules over the same space
+// and training transactions used for mining.
+func Build(space *hierarchy.Space, txns []model.Transaction, mined *mining.Result, cfg Config) (*Recommender, error) {
+	if space == nil || mined == nil || mined.Default == nil {
+		return nil, fmt.Errorf("core: nil space or mining result")
+	}
+	if cfg.CF == 0 {
+		cfg.CF = stats.DefaultCF
+	}
+	if cfg.CF <= 0 || cfg.CF >= 1 {
+		return nil, fmt.Errorf("core: CF %g outside (0,1)", cfg.CF)
+	}
+	if cfg.Quantity == nil {
+		cfg.Quantity = model.SavingMOA{}
+	}
+
+	all := mined.AllRules()
+	filtered := all
+	if cfg.MinInterest > 1 {
+		filtered = rules.FilterInteresting(space, all, cfg.MinInterest)
+		// The default rule has no generalization so it always survives
+		// the filter; the covering tree keeps its root.
+	}
+	kept := rules.RemoveDominated(space, filtered)
+
+	root := buildCoveringTree(space, kept, txns)
+	eval := &pessimisticEvaluator{
+		space:    space,
+		txns:     txns,
+		cf:       cfg.CF,
+		binary:   cfg.BinaryProfit,
+		quantity: cfg.Quantity,
+	}
+	if cfg.Prune == PruneCutOptimal {
+		pruneCutOptimal(root, eval)
+	} else {
+		// Still compute per-node projections for reporting.
+		var walk func(*Node)
+		walk = func(n *Node) {
+			n.Projected = eval.Projected(n.Rule, n.Cover)
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(root)
+	}
+
+	final := collectRules(root)
+	rules.SortByRank(final)
+
+	// Per-item alternates for top-K recommendation: within each target
+	// item's rules, the usual domination argument applies unchanged.
+	byItem := map[model.ItemID][]*rules.Rule{}
+	for _, rule := range all {
+		item := space.ItemOf(rule.Head)
+		byItem[item] = append(byItem[item], rule)
+	}
+	var alt []*rules.Rule
+	for _, group := range byItem {
+		alt = append(alt, rules.RemoveDominated(space, group)...)
+	}
+
+	r := &Recommender{
+		space:      space,
+		final:      final,
+		matcher:    rules.NewMatcher(final),
+		alternates: rules.NewMatcher(alt),
+		tree:       root,
+		stats: BuildStats{
+			RulesGenerated:    len(all),
+			RulesNonDominated: len(kept),
+			RulesFinal:        len(final),
+			ProjectedProfit:   treeProjected(root),
+			TreeDepth:         depth(root),
+		},
+	}
+	return r, nil
+}
+
+// Restore reassembles a Recommender from a previously built covering
+// tree and per-item alternate rules — the deserialization path of model
+// persistence (internal/modelio). The tree must be the pruned tree of a
+// prior Build over an identically compiled space; Restore recomputes the
+// derived structures (matchers, rank order, statistics) but does not
+// re-estimate anything.
+func Restore(space *hierarchy.Space, root *Node, alternates []*rules.Rule, generated, nonDominated int) (*Recommender, error) {
+	if space == nil || root == nil {
+		return nil, fmt.Errorf("core: nil space or tree")
+	}
+	if !root.Rule.IsDefault() {
+		return nil, fmt.Errorf("core: restored tree root is not a default rule")
+	}
+	final := collectRules(root)
+	rules.SortByRank(final)
+	return &Recommender{
+		space:      space,
+		final:      final,
+		matcher:    rules.NewMatcher(final),
+		alternates: rules.NewMatcher(alternates),
+		tree:       root,
+		stats: BuildStats{
+			RulesGenerated:    generated,
+			RulesNonDominated: nonDominated,
+			RulesFinal:        len(final),
+			ProjectedProfit:   treeProjected(root),
+			TreeDepth:         depth(root),
+		},
+	}, nil
+}
+
+// Alternates returns the per-item alternate rules backing RecommendTopK,
+// for persistence. The slice must not be modified.
+func (r *Recommender) Alternates() []*rules.Rule {
+	var out []*rules.Rule
+	r.alternates.MatchAllRules(func(rule *rules.Rule) { out = append(out, rule) })
+	return out
+}
+
+func depth(n *Node) int {
+	d := 0
+	for _, c := range n.Children {
+		if cd := depth(c); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// Recommend returns the MPF recommendation for a basket of non-target
+// sales: the highest-ranked matching rule's head. The default rule
+// guarantees a recommendation for any basket.
+func (r *Recommender) Recommend(basket model.Basket) Recommendation {
+	expanded := r.space.ExpandBasket(basket)
+	best := r.matcher.Best(expanded)
+	return r.toRecommendation(best)
+}
+
+// RecommendTopK returns up to k recommendations for distinct target
+// items — the paper's extension for recommending several target items per
+// customer (Section 2). The first recommendation is always the plain MPF
+// answer (identical to Recommend); further slots are filled with the best
+// matching rule of each remaining target item, in rank order, drawn from
+// the per-item non-dominated rule sets.
+func (r *Recommender) RecommendTopK(basket model.Basket, k int) []Recommendation {
+	if k <= 0 {
+		return nil
+	}
+	expanded := r.space.ExpandBasket(basket)
+	first := r.matcher.Best(expanded)
+	out := []Recommendation{r.toRecommendation(first)}
+	if k == 1 {
+		return out
+	}
+
+	bestPerItem := map[model.ItemID]*rules.Rule{}
+	r.alternates.MatchAll(expanded, func(rule *rules.Rule) {
+		item := r.space.ItemOf(rule.Head)
+		if cur, ok := bestPerItem[item]; !ok || rules.Outranks(rule, cur) {
+			bestPerItem[item] = rule
+		}
+	})
+	delete(bestPerItem, r.space.ItemOf(first.Head))
+
+	rest := make([]*rules.Rule, 0, len(bestPerItem))
+	for _, rule := range bestPerItem {
+		rest = append(rest, rule)
+	}
+	rules.SortByRank(rest)
+	for _, rule := range rest {
+		out = append(out, r.toRecommendation(rule))
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+func (r *Recommender) toRecommendation(rule *rules.Rule) Recommendation {
+	return Recommendation{
+		Item:  r.space.ItemOf(rule.Head),
+		Promo: r.space.PromoOf(rule.Head),
+		Rule:  rule,
+	}
+}
+
+// Rules returns the final rules in MPF rank order. The slice must not be
+// modified.
+func (r *Recommender) Rules() []*rules.Rule { return r.final }
+
+// Stats returns construction statistics.
+func (r *Recommender) Stats() BuildStats { return r.stats }
+
+// Space returns the generalized-sale space the recommender operates on.
+func (r *Recommender) Space() *hierarchy.Space { return r.space }
+
+// Tree returns the root of the (pruned) covering tree, for inspection and
+// explanation. The tree must not be modified.
+func (r *Recommender) Tree() *Node { return r.tree }
+
+// Explain renders the recommendation's rationale: the fired rule and its
+// covering-tree lineage up to the default rule.
+func (r *Recommender) Explain(rec Recommendation) []string {
+	var node *Node
+	var find func(*Node) *Node
+	find = func(n *Node) *Node {
+		if n.Rule == rec.Rule {
+			return n
+		}
+		for _, c := range n.Children {
+			if f := find(c); f != nil {
+				return f
+			}
+		}
+		return nil
+	}
+	node = find(r.tree)
+
+	var out []string
+	out = append(out, fmt.Sprintf("recommend %s: fired %s",
+		r.space.Name(r.space.PromoNode(rec.Promo)), rec.Rule.String(r.space)))
+	for n := node; n != nil && n.Parent != nil; n = n.Parent {
+		out = append(out, fmt.Sprintf("  fallback: %s", n.Parent.Rule.String(r.space)))
+	}
+	return out
+}

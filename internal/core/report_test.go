@@ -1,0 +1,56 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"profitmining/internal/mining"
+	"profitmining/internal/model"
+)
+
+func TestReport(t *testing.T) {
+	s := newShop(t)
+	var txns []model.Transaction
+	// Mostly egg sales so the default lipstick rule cannot dominate the
+	// bread → egg segment (ProfRe of ∅→Lipstick must stay below 1.2).
+	for i := 0; i < 20; i++ {
+		txns = append(txns, s.txn("Lipstick", "Perfume"))
+	}
+	for i := 0; i < 60; i++ {
+		txns = append(txns, s.txn("Egg@3.2", "Bread"))
+	}
+	rec := buildShop(t, s, txns, Config{}, mining.Options{MinSupportCount: 2})
+	rep := rec.Report()
+
+	for _, want := range []string{
+		"model:", "covering-tree depth", "rules by body length",
+		"recommended targets", "default rule covers",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// The two trained targets appear.
+	if !strings.Contains(rep, "Lipstick") || !strings.Contains(rep, "Egg") {
+		t.Errorf("report missing target items:\n%s", rep)
+	}
+}
+
+func TestMinInterestFilters(t *testing.T) {
+	s := newShop(t)
+	var txns []model.Transaction
+	for i := 0; i < 60; i++ {
+		txns = append(txns, s.txn("Lipstick", "Perfume"))
+	}
+	plain := buildShop(t, s, txns, Config{Prune: PruneOff}, mining.Options{MinSupportCount: 2})
+	strict := buildShop(t, s, txns, Config{Prune: PruneOff, MinInterest: 1.5}, mining.Options{MinSupportCount: 2})
+	if strict.Stats().RulesNonDominated > plain.Stats().RulesNonDominated {
+		t.Errorf("interest filter grew the rule set: %d > %d",
+			strict.Stats().RulesNonDominated, plain.Stats().RulesNonDominated)
+	}
+	// The filtered model still answers.
+	basket := model.Basket{{Item: s.item["Perfume"], Promo: s.pr["Perfume"], Qty: 1}}
+	if got := strict.Recommend(basket); got.Item != s.item["Lipstick"] {
+		t.Errorf("filtered model recommends %v", s.cat.Item(got.Item).Name)
+	}
+}

@@ -1,0 +1,257 @@
+package datagen
+
+import (
+	"testing"
+
+	"profitmining/internal/model"
+	"profitmining/internal/quest"
+)
+
+func TestApportion(t *testing.T) {
+	sizes, err := apportion(100, []float64{5, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes[0]+sizes[1] != 100 {
+		t.Fatalf("apportion sizes %v do not sum to 100", sizes)
+	}
+	// Roughly 5:1 with the minimum respected.
+	if sizes[0] < 70 || sizes[1] < 2 {
+		t.Errorf("apportion = %v, want ≈[82, 18] with minimums", sizes)
+	}
+
+	// Minimum dominates tiny weights.
+	sizes, err = apportion(20, []float64{1, 0, 0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if sizes[i] < 2 {
+			t.Errorf("group %d got %d items, want ≥ 2", i, sizes[i])
+		}
+	}
+	if sum(sizes) != 20 {
+		t.Errorf("sizes %v do not sum to 20", sizes)
+	}
+
+	// Too few items to host the groups.
+	if _, err := apportion(3, []float64{1, 1}, 2); err == nil {
+		t.Error("expected error when n < k·min")
+	}
+
+	// Exact fit.
+	sizes, err = apportion(4, []float64{1, 1}, 2)
+	if err != nil || sizes[0] != 2 || sizes[1] != 2 {
+		t.Errorf("exact fit = %v, %v", sizes, err)
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// TestTargetCouplingIsLearnable verifies the core property the paper's
+// evaluation depends on: basket contents predict the target sale. For
+// every non-target item we find the majority target among transactions
+// containing it; predicting by any basket item should be right about
+// TargetCorrelation of the time.
+func TestTargetCouplingIsLearnable(t *testing.T) {
+	cfg := DatasetIConfig(quest.Config{
+		NumTransactions: 4000,
+		NumItems:        100,
+		Seed:            3,
+	}, 4)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Majority target per item.
+	type counts map[model.ItemID]int
+	byItem := map[model.ItemID]counts{}
+	for i := range ds.Transactions {
+		tr := &ds.Transactions[i]
+		for _, s := range tr.NonTarget {
+			c := byItem[s.Item]
+			if c == nil {
+				c = counts{}
+				byItem[s.Item] = c
+			}
+			c[tr.Target.Item]++
+		}
+	}
+	majority := map[model.ItemID]model.ItemID{}
+	for item, c := range byItem {
+		var best model.ItemID
+		bestN := -1
+		for tgt, n := range c {
+			if n > bestN {
+				best, bestN = tgt, n
+			}
+		}
+		majority[item] = best
+	}
+
+	correct := 0
+	for i := range ds.Transactions {
+		tr := &ds.Transactions[i]
+		if len(tr.NonTarget) == 0 {
+			continue
+		}
+		if majority[tr.NonTarget[0].Item] == tr.Target.Item {
+			correct++
+		}
+	}
+	rate := float64(correct) / float64(len(ds.Transactions))
+	if rate < 0.75 {
+		t.Errorf("item-majority target prediction = %.2f, want ≥ 0.75 (coupling broken)", rate)
+	}
+}
+
+// TestUncorrelatedTargetsAreNotLearnable is the control: with
+// TargetCorrelation = 0 the same predictor can do no better than the
+// majority class (5/6 ≈ 0.83 for dataset I — so we check it does NOT
+// exceed it meaningfully; prediction adds nothing).
+func TestUncorrelatedTargetsAreNotLearnable(t *testing.T) {
+	cfg := DatasetIConfig(quest.Config{
+		NumTransactions: 4000,
+		NumItems:        100,
+		Seed:            3,
+	}, 4)
+	cfg.TargetCorrelation = 0
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-price hit ceiling: the best any basket-conditioned model can do
+	// on exact target-promo prediction is the global mode ≈ 5/6 × 1/4.
+	promoCounts := map[model.PromoID]int{}
+	for i := range ds.Transactions {
+		promoCounts[ds.Transactions[i].Target.Promo]++
+	}
+	best := 0
+	for _, n := range promoCounts {
+		if n > best {
+			best = n
+		}
+	}
+	modal := float64(best) / float64(len(ds.Transactions))
+	if modal > 0.30 {
+		t.Errorf("uncorrelated modal target promo = %.2f, want ≈ 5/6 × 1/4 ≈ 0.21", modal)
+	}
+}
+
+func TestAvailabilityBump(t *testing.T) {
+	// With full correlation and bump weights {0, 1} (always bump one
+	// level), every correlated sale is recorded one level above its
+	// cell's preferred price; since preferred prices spread over all 4
+	// levels, recorded prices concentrate on levels 2..4.
+	cfg := DatasetIConfig(quest.Config{
+		NumTransactions: 2000,
+		NumItems:        80,
+		Seed:            5,
+	}, 6)
+	cfg.TargetCorrelation = 1
+	cfg.BumpWeights = []float64{0, 1}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levelCount := map[int]int{}
+	for i := range ds.Transactions {
+		tgt := ds.Transactions[i].Target
+		promos := ds.Catalog.Promos(tgt.Item)
+		for j, pid := range promos {
+			if pid == tgt.Promo {
+				levelCount[j]++
+			}
+		}
+	}
+	if levelCount[0] != 0 {
+		t.Errorf("always-bump data recorded %d sales at the lowest level, want 0", levelCount[0])
+	}
+	if levelCount[3] == 0 {
+		t.Error("clamped bumps should land on the top level")
+	}
+}
+
+func TestBumpValidation(t *testing.T) {
+	cfg := DatasetIConfig(quest.Config{NumTransactions: 50, NumItems: 20, Seed: 1}, 1)
+	cfg.BumpWeights = []float64{0.5, -0.1}
+	if _, err := Generate(cfg); err == nil {
+		t.Error("negative bump weight must fail")
+	}
+}
+
+func TestPatternDensityScalesWithItems(t *testing.T) {
+	// Leaving NumPatterns zero at a reduced item count must not inherit
+	// Quest's absolute default of 2000 (calibrated for 1000 items).
+	// Indirect check: generation succeeds and per-item pattern density
+	// stays sane — with 2000 patterns over 50 items the planted purity
+	// would collapse and the coupling test would fail, so reuse it.
+	cfg := DatasetIConfig(quest.Config{
+		NumTransactions: 2000,
+		NumItems:        50,
+		Seed:            9,
+	}, 10)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Transactions) != 2000 {
+		t.Fatalf("generated %d transactions", len(ds.Transactions))
+	}
+}
+
+func TestCellsKeepMarginalPricesSpread(t *testing.T) {
+	// Recorded prices must cover all four levels for both targets (the
+	// histogram panels of Figures 3(e)/4(e) depend on it).
+	ds, err := Generate(DatasetIConfig(quest.Config{
+		NumTransactions: 4000,
+		NumItems:        100,
+		Seed:            11,
+	}, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[model.PromoID]int{}
+	for i := range ds.Transactions {
+		seen[ds.Transactions[i].Target.Promo]++
+	}
+	for _, tgt := range ds.Catalog.TargetItems() {
+		for _, pid := range ds.Catalog.Promos(tgt) {
+			if seen[pid] == 0 {
+				t.Errorf("target %d price %v never recorded", tgt, ds.Catalog.Promo(pid).Price)
+			}
+		}
+	}
+}
+
+func TestDatasetIIWithCellsSmallUniverse(t *testing.T) {
+	// 10 targets over only 40 items: every target still gets a segment
+	// and generation terminates (this configuration used to hang before
+	// the Quest stagnation guard).
+	ds, err := Generate(DatasetIIConfig(quest.Config{
+		NumTransactions: 500,
+		NumItems:        40,
+		AvgTxnLen:       4,
+		Seed:            13,
+	}, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	targets := map[model.ItemID]bool{}
+	for i := range ds.Transactions {
+		targets[ds.Transactions[i].Target.Item] = true
+	}
+	if len(targets) < 8 {
+		t.Errorf("only %d/10 targets ever sold", len(targets))
+	}
+}

@@ -1,0 +1,222 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+	"profitmining/internal/quest"
+)
+
+func smallQuest() quest.Config {
+	return quest.Config{
+		NumTransactions: 3000,
+		NumItems:        100,
+		AvgTxnLen:       8,
+		AvgPatternLen:   4,
+		NumPatterns:     100,
+		Seed:            21,
+	}
+}
+
+func TestDatasetIShape(t *testing.T) {
+	ds, err := Generate(DatasetIConfig(smallQuest(), 1))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := len(ds.Transactions); got != 3000 {
+		t.Fatalf("transactions = %d", got)
+	}
+	// 100 non-target + 2 target items, 4 promos each.
+	if got := ds.Catalog.NumItems(); got != 102 {
+		t.Errorf("items = %d, want 102", got)
+	}
+	if got := ds.Catalog.NumPromos(); got != 102*4 {
+		t.Errorf("promos = %d, want %d", got, 102*4)
+	}
+
+	// Zipf 5:1 between the two targets.
+	counts := map[model.ItemID]int{}
+	for i := range ds.Transactions {
+		counts[ds.Transactions[i].Target.Item]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("target item count = %d, want 2", len(counts))
+	}
+	a, _ := ds.Catalog.ItemByName("target-A")
+	b, _ := ds.Catalog.ItemByName("target-B")
+	ratio := float64(counts[a]) / float64(counts[b])
+	if ratio < 4.0 || ratio > 6.2 {
+		t.Errorf("target frequency ratio = %g, want ≈5", ratio)
+	}
+}
+
+func TestDatasetIPriceStructure(t *testing.T) {
+	ds, err := Generate(DatasetIConfig(smallQuest(), 1))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	a, _ := ds.Catalog.ItemByName("target-A")
+	promos := ds.Catalog.Promos(a)
+	if len(promos) != 4 {
+		t.Fatalf("target-A promos = %d", len(promos))
+	}
+	// P_j = (1 + j·0.1)·2, profit j·0.1·2.
+	for j, pid := range promos {
+		p := ds.Catalog.Promo(pid)
+		wantPrice := (1 + float64(j+1)*0.1) * 2
+		if math.Abs(p.Price-wantPrice) > 1e-9 || math.Abs(p.Cost-2) > 1e-9 {
+			t.Errorf("promo %d = %+v, want price %g cost 2", j, p, wantPrice)
+		}
+		wantProfit := float64(j+1) * 0.1 * 2
+		if math.Abs(p.Profit()-wantProfit) > 1e-9 {
+			t.Errorf("promo %d profit = %g, want %g", j, p.Profit(), wantProfit)
+		}
+	}
+
+	// Non-target cost model: Cost(i) = 100/i.
+	it, _ := ds.Catalog.ItemByName("item-0004")
+	p := ds.Catalog.Promo(ds.Catalog.Promos(it)[0])
+	if math.Abs(p.Cost-25) > 1e-9 {
+		t.Errorf("item-0004 cost = %g, want 25", p.Cost)
+	}
+}
+
+func TestDatasetIIShape(t *testing.T) {
+	ds, err := Generate(DatasetIIConfig(smallQuest(), 2))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	targets := ds.Catalog.TargetItems()
+	if len(targets) != 10 {
+		t.Fatalf("targets = %d, want 10", len(targets))
+	}
+	// Costs 10, 20, …, 100.
+	for i, id := range targets {
+		p := ds.Catalog.Promo(ds.Catalog.Promos(id)[0])
+		if math.Abs(p.Cost-10*float64(i+1)) > 1e-9 {
+			t.Errorf("target %d cost = %g, want %g", i+1, p.Cost, 10*float64(i+1))
+		}
+	}
+	// Normal frequency: middle items more frequent than extremes.
+	counts := map[model.ItemID]int{}
+	for i := range ds.Transactions {
+		counts[ds.Transactions[i].Target.Item]++
+	}
+	mid := counts[targets[4]] + counts[targets[5]]
+	ends := counts[targets[0]] + counts[targets[9]]
+	if mid <= 2*ends {
+		t.Errorf("normal frequency not bell-shaped: middle %d, ends %d", mid, ends)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DatasetIConfig(smallQuest(), 7)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Transactions) != len(b.Transactions) {
+		t.Fatal("transaction counts differ")
+	}
+	for i := range a.Transactions {
+		ta, tb := a.Transactions[i], b.Transactions[i]
+		if ta.Target != tb.Target || len(ta.NonTarget) != len(tb.NonTarget) {
+			t.Fatalf("transaction %d differs", i)
+		}
+		for j := range ta.NonTarget {
+			if ta.NonTarget[j] != tb.NonTarget[j] {
+				t.Fatalf("transaction %d sale %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	q := smallQuest()
+	bad := []Config{
+		{Quest: q}, // no targets
+		{Quest: q, Targets: []TargetSpec{{Name: "t", Cost: -1, Weight: 1}}}, // bad cost
+		{Quest: q, Targets: []TargetSpec{{Name: "t", Cost: 1, Weight: -1}}}, // bad weight
+		{Quest: q, Targets: []TargetSpec{{Name: "t", Cost: 1, Weight: 1}}, NumPrices: -1},
+		{Quest: q, Targets: []TargetSpec{{Name: "t", Cost: 1, Weight: 1}}, PriceStep: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestNonTargetSalesReferenceQuestItems(t *testing.T) {
+	ds, err := Generate(DatasetIConfig(smallQuest(), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Transactions {
+		tr := &ds.Transactions[i]
+		if len(tr.NonTarget) == 0 {
+			t.Fatalf("transaction %d has no non-target sales", i)
+		}
+		for _, s := range tr.NonTarget {
+			if ds.Catalog.Item(s.Item).Target {
+				t.Fatalf("transaction %d: non-target sale of target item", i)
+			}
+			if s.Qty != 1 {
+				t.Fatalf("transaction %d: quantity %g, want unit", i, s.Qty)
+			}
+		}
+	}
+}
+
+func TestGrocery(t *testing.T) {
+	g := NewGrocery(500, 42)
+	if err := g.Dataset.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(g.Dataset.Transactions) != 500 {
+		t.Fatalf("transactions = %d", len(g.Dataset.Transactions))
+	}
+	if _, err := g.Builder.Compile(hierarchy.Options{MOA: true}); err != nil {
+		t.Fatalf("hierarchy compile: %v", err)
+	}
+
+	// All four archetypes appear.
+	targets := map[model.ItemID]int{}
+	for i := range g.Dataset.Transactions {
+		targets[g.Dataset.Transactions[i].Target.Item]++
+	}
+	for _, name := range []string{"Lipstick", "Diamond", "Sunchip", "Egg"} {
+		if targets[g.Items[name]] == 0 {
+			t.Errorf("no %s transactions generated", name)
+		}
+	}
+	// Lipstick is the dominant target; diamonds are rare but present.
+	if targets[g.Items["Lipstick"]] <= targets[g.Items["Diamond"]] {
+		t.Error("lipstick should be far more frequent than diamond")
+	}
+
+	// Determinism.
+	g2 := NewGrocery(500, 42)
+	for i := range g.Dataset.Transactions {
+		if g.Dataset.Transactions[i].Target != g2.Dataset.Transactions[i].Target {
+			t.Fatal("grocery generation is not deterministic")
+		}
+	}
+
+	// Minimum size clamp.
+	if got := len(NewGrocery(0, 1).Dataset.Transactions); got != 1 {
+		t.Errorf("NewGrocery(0) produced %d transactions, want 1", got)
+	}
+}

@@ -1,0 +1,178 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+	"profitmining/internal/stats"
+)
+
+// Grocery is a small, deterministic retail dataset with a real concept
+// hierarchy, used by the examples and by integration tests. It encodes the
+// paper's motivating patterns:
+//
+//   - customers buying Perfume frequently buy Lipstick (cheap, modest
+//     profit) and rarely buy Diamond (expensive, high profit);
+//   - Egg is sold both per pack and per 4-pack, with the 4-pack carrying
+//     the higher total profit — the Introduction's "get smarter from the
+//     past" scenario;
+//   - snack buyers (Beer, FlakedChicken) buy Sunchip at one of three
+//     prices, exercising MOA over price levels.
+type Grocery struct {
+	Dataset *model.Dataset
+
+	// Named handles into the catalog, for tests and examples.
+	Items  map[string]model.ItemID
+	Promos map[string]model.PromoID
+
+	// Hierarchy over the non-target items (Cosmetics, Food ⊃ Meat, …).
+	Builder *hierarchy.Builder
+}
+
+// NewGrocery builds the grocery dataset with n transactions (n ≥ 1) from
+// the given seed.
+func NewGrocery(n int, seed int64) *Grocery {
+	cat := model.NewCatalog()
+	items := map[string]model.ItemID{}
+	promos := map[string]model.PromoID{}
+
+	addItem := func(name string, target bool) model.ItemID {
+		id := cat.AddItem(name, target)
+		items[name] = id
+		return id
+	}
+	addPromo := func(key string, item model.ItemID, price, cost, packing float64) model.PromoID {
+		id := cat.AddPromo(item, price, cost, packing)
+		promos[key] = id
+		return id
+	}
+
+	// Non-target items.
+	perfume := addItem("Perfume", false)
+	addPromo("Perfume", perfume, 30, 10, 1)
+	shampoo := addItem("Shampoo", false)
+	addPromo("Shampoo", shampoo, 5, 2, 1)
+	beer := addItem("Beer", false)
+	addPromo("Beer@9", beer, 9, 5, 6)
+	addPromo("Beer@10", beer, 10, 5, 6)
+	fc := addItem("FlakedChicken", false)
+	addPromo("FC@3", fc, 3.0, 1.0, 1)
+	addPromo("FC@3.5", fc, 3.5, 1.0, 1)
+	addPromo("FC@3.8", fc, 3.8, 1.0, 1)
+	bread := addItem("Bread", false)
+	addPromo("Bread", bread, 2, 1, 1)
+
+	// Target items. Profits are kept in the same order of magnitude so
+	// that per-segment rules outrank the default rule — the regime the
+	// paper's datasets live in (a default rule whose global expected
+	// profit beats every conditional rule would make MPF degenerate to
+	// MPI by construction).
+	lipstick := addItem("Lipstick", true)
+	addPromo("Lipstick@8", lipstick, 8, 6, 1)
+	addPromo("Lipstick@10", lipstick, 10, 6, 1)
+	diamond := addItem("Diamond", true)
+	addPromo("Diamond@730", diamond, 730, 700, 1)
+	addPromo("Diamond@740", diamond, 740, 700, 1)
+	sunchip := addItem("Sunchip", true)
+	addPromo("Sunchip@3.8", sunchip, 3.8, 2.0, 1)
+	addPromo("Sunchip@4.5", sunchip, 4.5, 2.0, 1)
+	addPromo("Sunchip@5", sunchip, 5.0, 2.0, 1)
+	egg := addItem("Egg", true)
+	addPromo("Egg@1", egg, 1.0, 0.5, 1)
+	addPromo("Egg@4.4", egg, 4.4, 2.4, 4)
+
+	b := hierarchy.NewBuilder(cat)
+	b.AddConcept("Cosmetics")
+	b.AddConcept("Food")
+	b.AddConcept("Meat", "Food")
+	b.AddConcept("Bakery", "Food")
+	b.PlaceItem(perfume, "Cosmetics")
+	b.PlaceItem(shampoo, "Cosmetics")
+	b.PlaceItem(fc, "Meat")
+	b.PlaceItem(bread, "Bakery")
+
+	rng := rand.New(rand.NewSource(seed))
+	if n < 1 {
+		n = 1
+	}
+
+	// Transaction archetypes with relative frequencies.
+	type archetype struct {
+		weight float64
+		build  func() model.Transaction
+	}
+	sale := func(item, promo string, qty float64) model.Sale {
+		return model.Sale{Item: items[item], Promo: promos[promo], Qty: qty}
+	}
+	archetypes := []archetype{
+		// Perfume buyers: mostly lipstick (profit 2 or 4), occasionally at
+		// the high price.
+		{8, func() model.Transaction {
+			p := "Lipstick@8"
+			if rng.Float64() < 0.4 {
+				p = "Lipstick@10"
+			}
+			nt := []model.Sale{sale("Perfume", "Perfume", 1)}
+			if rng.Float64() < 0.5 {
+				nt = append(nt, sale("Shampoo", "Shampoo", 1))
+			}
+			return model.Transaction{NonTarget: nt, Target: sale("Lipstick", p, 1)}
+		}},
+		// Rare diamond buyers, also triggered by perfume — the paper's
+		// statistically-insignificant-but-profitable pattern.
+		{0.5, func() model.Transaction {
+			p := "Diamond@730"
+			if rng.Float64() < 0.5 {
+				p = "Diamond@740"
+			}
+			return model.Transaction{
+				NonTarget: []model.Sale{sale("Perfume", "Perfume", 1), sale("Shampoo", "Shampoo", 1)},
+				Target:    sale("Diamond", p, 1),
+			}
+		}},
+		// Snackers: beer and/or flaked chicken trigger Sunchip at one of
+		// three prices — the MOA ladder.
+		{6, func() model.Transaction {
+			var nt []model.Sale
+			fcPromos := []string{"FC@3", "FC@3.5", "FC@3.8"}
+			if rng.Float64() < 0.7 {
+				nt = append(nt, sale("Beer", []string{"Beer@9", "Beer@10"}[rng.Intn(2)], 1))
+			}
+			if len(nt) == 0 || rng.Float64() < 0.6 {
+				nt = append(nt, sale("FlakedChicken", fcPromos[rng.Intn(3)], 1))
+			}
+			sp := []string{"Sunchip@3.8", "Sunchip@4.5", "Sunchip@5"}[rng.Intn(3)]
+			return model.Transaction{NonTarget: nt, Target: sale("Sunchip", sp, 1)}
+		}},
+		// Bread buyers split between egg packs and 4-packs — the
+		// Introduction's pricing lesson (4-pack profit 2.0 > pack 0.5).
+		{5, func() model.Transaction {
+			p := "Egg@1"
+			if rng.Float64() < 0.5 {
+				p = "Egg@4.4"
+			}
+			return model.Transaction{
+				NonTarget: []model.Sale{sale("Bread", "Bread", 1)},
+				Target:    sale("Egg", p, 1),
+			}
+		}},
+	}
+	weights := make([]float64, len(archetypes))
+	for i, a := range archetypes {
+		weights[i] = a.weight
+	}
+	pick := stats.NewDiscrete(weights)
+
+	txns := make([]model.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		txns = append(txns, archetypes[pick.Sample(rng)].build())
+	}
+
+	return &Grocery{
+		Dataset: &model.Dataset{Catalog: cat, Transactions: txns},
+		Items:   items,
+		Promos:  promos,
+		Builder: b,
+	}
+}

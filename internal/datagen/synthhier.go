@@ -1,0 +1,24 @@
+package datagen
+
+import (
+	"profitmining/internal/dataio"
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+)
+
+// SyntheticHierarchy builds a balanced multi-level concept hierarchy over
+// the catalog's non-target items: leaves are grouped fanout-at-a-time
+// under level-1 concepts ("g1-0001", …), which are grouped again
+// ("g2-0001", …) until a level has at most fanout concepts. It provides
+// the multi-level generalization structure of [SA95, HF95] for synthetic
+// datasets, whose catalogs are otherwise flat — used by the hierarchy
+// ablation (DESIGN.md §7). See dataio.SyntheticHierarchySpec for the
+// serializable form.
+func SyntheticHierarchy(cat *model.Catalog, fanout int) *hierarchy.Builder {
+	b, err := dataio.SyntheticHierarchySpec(cat, fanout).Builder(cat)
+	if err != nil {
+		// Unreachable: the spec is built from the same catalog.
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package datagen
+
+import (
+	"testing"
+
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/quest"
+)
+
+func TestSyntheticHierarchy(t *testing.T) {
+	ds, err := Generate(DatasetIConfig(quest.Config{
+		NumTransactions: 200,
+		NumItems:        100,
+		Seed:            1,
+	}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := SyntheticHierarchy(ds.Catalog, 10)
+	space, err := b.Compile(hierarchy.Options{MOA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 100 items → 10 level-1 concepts (≤ fanout, so a single level).
+	concepts := 0
+	for g := 0; g < space.NumNodes(); g++ {
+		if space.Kind(hierarchy.GenID(g)) == hierarchy.KindConcept {
+			concepts++
+		}
+	}
+	if concepts != 10 {
+		t.Errorf("concepts = %d, want 10", concepts)
+	}
+
+	// Every non-target item has a concept ancestor besides the root;
+	// target items stay children of the root.
+	for _, it := range ds.Catalog.Items() {
+		node := space.ItemNode(it.ID)
+		hasConcept := false
+		for _, a := range space.Ancestors(node) {
+			if space.Kind(a) == hierarchy.KindConcept {
+				hasConcept = true
+			}
+		}
+		if it.Target && hasConcept {
+			t.Errorf("target %s placed under a concept", it.Name)
+		}
+		if !it.Target && !hasConcept {
+			t.Errorf("non-target %s has no concept", it.Name)
+		}
+	}
+}
+
+func TestSyntheticHierarchyMultiLevel(t *testing.T) {
+	ds, err := Generate(DatasetIConfig(quest.Config{
+		NumTransactions: 100,
+		NumItems:        100,
+		Seed:            3,
+	}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fanout 4: level1 = 25 groups, level2 = ceil(25/4) = 7, level3 =
+	// ceil(7/4) = 2 ≤ 4 → three levels, 34 concepts.
+	b := SyntheticHierarchy(ds.Catalog, 4)
+	space, err := b.Compile(hierarchy.Options{MOA: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concepts := 0
+	for g := 0; g < space.NumNodes(); g++ {
+		if space.Kind(hierarchy.GenID(g)) == hierarchy.KindConcept {
+			concepts++
+		}
+	}
+	if concepts != 25+7+2 {
+		t.Errorf("concepts = %d, want 34", concepts)
+	}
+	// An item's ancestors climb through all three levels.
+	first := ds.Catalog.Items()[0]
+	levels := map[byte]bool{}
+	for _, a := range space.Ancestors(space.ItemNode(first.ID)) {
+		if space.Kind(a) == hierarchy.KindConcept {
+			levels[space.Name(a)[1]] = true
+		}
+	}
+	if !levels['1'] || !levels['2'] || !levels['3'] {
+		t.Errorf("item lineage misses levels: %v", levels)
+	}
+}
+
+func TestSyntheticHierarchyPanics(t *testing.T) {
+	ds, err := Generate(DatasetIConfig(quest.Config{
+		NumTransactions: 50, NumItems: 20, Seed: 1,
+	}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("fanout < 2 must panic")
+		}
+	}()
+	SyntheticHierarchy(ds.Catalog, 1)
+}

@@ -1,0 +1,148 @@
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"profitmining/internal/model"
+)
+
+// BasketOptions configures conversion of raw market-basket data (the
+// classic one-transaction-per-line, whitespace-separated-items format of
+// public retail datasets) into a profit-mining dataset. Such files carry
+// no price information, so promotion ladders are synthesized the same way
+// as for the paper's datasets.
+type BasketOptions struct {
+	// Targets names the tokens to treat as target items. Transactions
+	// without any target token are dropped; the first target token in a
+	// line becomes the target sale and the remaining tokens the basket.
+	// Required.
+	Targets []string
+
+	// TargetCosts optionally assigns costs to target tokens (default 1).
+	// Non-target costs are irrelevant to every profit measure.
+	TargetCosts map[string]float64
+
+	// NumPrices and PriceStep define the synthesized ladder
+	// P_j = (1 + j·PriceStep)·cost (defaults 4 and 0.10).
+	NumPrices int
+	PriceStep float64
+
+	// Seed drives the uniform price selection per sale.
+	Seed int64
+}
+
+// ReadBaskets parses raw basket data into a dataset. Tokens become item
+// names verbatim; every item gets the synthesized promotion ladder and
+// every sale picks one of the prices uniformly at random with unit
+// quantity, matching the paper's treatment of the IBM generator output.
+func ReadBaskets(r io.Reader, opts BasketOptions) (*model.Dataset, error) {
+	if len(opts.Targets) == 0 {
+		return nil, fmt.Errorf("dataio: ReadBaskets needs at least one target token")
+	}
+	if opts.NumPrices == 0 {
+		opts.NumPrices = 4
+	}
+	if opts.NumPrices < 1 {
+		return nil, fmt.Errorf("dataio: NumPrices %d must be at least 1", opts.NumPrices)
+	}
+	if opts.PriceStep == 0 {
+		opts.PriceStep = 0.10
+	}
+	if opts.PriceStep <= 0 {
+		return nil, fmt.Errorf("dataio: PriceStep %g must be positive", opts.PriceStep)
+	}
+
+	isTarget := make(map[string]bool, len(opts.Targets))
+	for _, t := range opts.Targets {
+		if t == "" {
+			return nil, fmt.Errorf("dataio: empty target token")
+		}
+		isTarget[t] = true
+	}
+
+	cat := model.NewCatalog()
+	items := map[string]model.ItemID{}
+	promos := map[string][]model.PromoID{}
+	intern := func(token string) model.ItemID {
+		if id, ok := items[token]; ok {
+			return id
+		}
+		target := isTarget[token]
+		cost := 1.0
+		if target && opts.TargetCosts != nil {
+			if c, ok := opts.TargetCosts[token]; ok {
+				cost = c
+			}
+		}
+		id := cat.AddItem(token, target)
+		items[token] = id
+		ladder := make([]model.PromoID, opts.NumPrices)
+		for j := 0; j < opts.NumPrices; j++ {
+			price := (1 + float64(j+1)*opts.PriceStep) * cost
+			ladder[j] = cat.AddPromo(id, price, cost, 1)
+		}
+		promos[token] = ladder
+		return id
+	}
+	// Intern targets first so their IDs are stable regardless of where
+	// they first appear in the data.
+	for _, t := range opts.Targets {
+		intern(t)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ds := &model.Dataset{Catalog: cat}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	dropped := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		var txn model.Transaction
+		haveTarget := false
+		seen := map[string]bool{}
+		for _, tok := range fields {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			id := intern(tok)
+			sale := model.Sale{
+				Item:  id,
+				Promo: promos[tok][rng.Intn(opts.NumPrices)],
+				Qty:   1,
+			}
+			if isTarget[tok] {
+				if !haveTarget {
+					txn.Target = sale
+					haveTarget = true
+				}
+				// Additional target tokens are dropped: the paper's
+				// framework has one target sale per transaction.
+				continue
+			}
+			txn.NonTarget = append(txn.NonTarget, sale)
+		}
+		if !haveTarget {
+			dropped++
+			continue
+		}
+		ds.Transactions = append(ds.Transactions, txn)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	if len(ds.Transactions) == 0 {
+		return nil, fmt.Errorf("dataio: no usable transactions (%d lines lacked a target token)", dropped)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

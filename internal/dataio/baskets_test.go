@@ -1,0 +1,113 @@
+package dataio_test
+
+import (
+	"strings"
+	"testing"
+
+	"profitmining/internal/dataio"
+)
+
+const basketFile = `milk bread chips
+beer chips
+milk bread
+beer diapers chips
+milk chips bread
+`
+
+func TestReadBaskets(t *testing.T) {
+	ds, err := dataio.ReadBaskets(strings.NewReader(basketFile), dataio.BasketOptions{
+		Targets:     []string{"chips"},
+		TargetCosts: map[string]float64{"chips": 2},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 3 has no target → dropped; 4 usable transactions.
+	if len(ds.Transactions) != 4 {
+		t.Fatalf("transactions = %d, want 4", len(ds.Transactions))
+	}
+	chips, ok := ds.Catalog.ItemByName("chips")
+	if !ok || !ds.Catalog.Item(chips).Target {
+		t.Fatal("chips not interned as a target")
+	}
+	// Ladder: 4 prices over cost 2 → 2.2, 2.4, 2.6, 2.8.
+	ladder := ds.Catalog.Promos(chips)
+	if len(ladder) != 4 {
+		t.Fatalf("chips ladder = %d promos", len(ladder))
+	}
+	if p := ds.Catalog.Promo(ladder[0]); p.Price != 2.2 || p.Cost != 2 {
+		t.Errorf("first rung = %+v", p)
+	}
+	for i := range ds.Transactions {
+		tr := &ds.Transactions[i]
+		if tr.Target.Item != chips {
+			t.Errorf("transaction %d target = %d", i, tr.Target.Item)
+		}
+		for _, s := range tr.NonTarget {
+			if ds.Catalog.Item(s.Item).Target {
+				t.Error("target token leaked into a basket")
+			}
+		}
+	}
+}
+
+func TestReadBasketsDedupAndMultiTarget(t *testing.T) {
+	// Repeated tokens are deduplicated; extra target tokens are dropped
+	// (one target sale per transaction, per the paper's framework).
+	ds, err := dataio.ReadBaskets(strings.NewReader("beer beer chips cola chips\n"), dataio.BasketOptions{
+		Targets: []string{"chips", "cola"},
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ds.Transactions[0]
+	if len(tr.NonTarget) != 1 {
+		t.Errorf("basket = %d sales, want 1 (deduplicated beer)", len(tr.NonTarget))
+	}
+	if name := ds.Catalog.Item(tr.Target.Item).Name; name != "chips" {
+		t.Errorf("target = %s, want the first target token", name)
+	}
+}
+
+func TestReadBasketsErrors(t *testing.T) {
+	if _, err := dataio.ReadBaskets(strings.NewReader("a b\n"), dataio.BasketOptions{}); err == nil {
+		t.Error("missing targets must fail")
+	}
+	if _, err := dataio.ReadBaskets(strings.NewReader("a b\n"), dataio.BasketOptions{Targets: []string{"zzz"}}); err == nil {
+		t.Error("no usable transactions must fail")
+	}
+	if _, err := dataio.ReadBaskets(strings.NewReader("a b\n"), dataio.BasketOptions{Targets: []string{""}}); err == nil {
+		t.Error("empty target token must fail")
+	}
+	if _, err := dataio.ReadBaskets(strings.NewReader("a b\n"), dataio.BasketOptions{Targets: []string{"b"}, NumPrices: -1}); err == nil {
+		t.Error("bad NumPrices must fail")
+	}
+	if _, err := dataio.ReadBaskets(strings.NewReader("a b\n"), dataio.BasketOptions{Targets: []string{"b"}, PriceStep: -0.5}); err == nil {
+		t.Error("bad PriceStep must fail")
+	}
+}
+
+func TestReadBasketsEndToEnd(t *testing.T) {
+	// The loaded dataset feeds the whole pipeline: serialize it and read
+	// it back through the dataset format.
+	ds, err := dataio.ReadBaskets(strings.NewReader(basketFile), dataio.BasketOptions{
+		Targets: []string{"chips"},
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := dataio.Write(&sb, ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := dataio.Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Transactions) != len(ds.Transactions) {
+		t.Error("basket dataset did not survive the dataset format")
+	}
+}

@@ -1,0 +1,229 @@
+// Package dataio serializes profit-mining datasets for the command-line
+// tools. The on-disk format is line-oriented JSON: the first line is a
+// header object carrying the catalog (items, promotion codes) and an
+// optional concept hierarchy; every following line is one transaction.
+// The format is self-contained, appendable and streamable, which matters
+// for the paper-scale 100K-transaction datasets.
+package dataio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+)
+
+// header is the first line of a dataset file.
+type header struct {
+	Format    string         `json:"format"` // always "profitmining/v1"
+	Items     []ItemJSON     `json:"items"`
+	Promos    []PromoJSON    `json:"promos"`
+	Hierarchy *HierarchySpec `json:"hierarchy,omitempty"`
+}
+
+const formatV1 = "profitmining/v1"
+
+// ItemJSON is the serialized form of a catalog item (shared with model
+// files, internal/modelio).
+type ItemJSON struct {
+	Name   string `json:"name"`
+	Target bool   `json:"target,omitempty"`
+}
+
+// PromoJSON is the serialized form of a promotion code.
+type PromoJSON struct {
+	Item    int32   `json:"item"` // 1-based item ID
+	Price   float64 `json:"price"`
+	Cost    float64 `json:"cost"`
+	Packing float64 `json:"packing"`
+}
+
+// EncodeCatalog flattens a catalog for serialization.
+func EncodeCatalog(cat *model.Catalog) ([]ItemJSON, []PromoJSON) {
+	var items []ItemJSON
+	var promos []PromoJSON
+	for _, it := range cat.Items() {
+		items = append(items, ItemJSON{Name: it.Name, Target: it.Target})
+		for _, pid := range cat.Promos(it.ID) {
+			p := cat.Promo(pid)
+			promos = append(promos, PromoJSON{
+				Item: int32(it.ID), Price: p.Price, Cost: p.Cost, Packing: p.Packing,
+			})
+		}
+	}
+	return items, promos
+}
+
+// DecodeCatalog rebuilds a catalog from its serialized form.
+func DecodeCatalog(items []ItemJSON, promos []PromoJSON) (*model.Catalog, error) {
+	cat := model.NewCatalog()
+	for _, it := range items {
+		if it.Name == "" {
+			return nil, fmt.Errorf("dataio: item with empty name")
+		}
+		if _, dup := cat.ItemByName(it.Name); dup {
+			return nil, fmt.Errorf("dataio: duplicate item %q", it.Name)
+		}
+		cat.AddItem(it.Name, it.Target)
+	}
+	for i, p := range promos {
+		if p.Item < 1 || int(p.Item) > cat.NumItems() {
+			return nil, fmt.Errorf("dataio: promo %d references unknown item %d", i, p.Item)
+		}
+		cat.AddPromo(model.ItemID(p.Item), p.Price, p.Cost, p.Packing)
+	}
+	return cat, nil
+}
+
+type saleJSON struct {
+	Item  int32   `json:"i"`
+	Promo int32   `json:"p"`
+	Qty   float64 `json:"q"`
+}
+
+type txnJSON struct {
+	NonTarget []saleJSON `json:"nt"`
+	Target    saleJSON   `json:"t"`
+}
+
+// HierarchySpec is the serializable form of a concept hierarchy: concepts
+// in definition order (parents must precede children) and item placements
+// by item name.
+type HierarchySpec struct {
+	Concepts   []ConceptSpec       `json:"concepts,omitempty"`
+	Placements map[string][]string `json:"placements,omitempty"`
+}
+
+// ConceptSpec is one concept and its parent concepts.
+type ConceptSpec struct {
+	Name    string   `json:"name"`
+	Parents []string `json:"parents,omitempty"`
+}
+
+// Builder reconstructs a hierarchy.Builder over the catalog from the
+// spec. hierarchy.Builder panics on malformed construction (it is meant
+// for trusted code); data-driven specs translate those panics to errors.
+func (h *HierarchySpec) Builder(cat *model.Catalog) (b *hierarchy.Builder, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b, err = nil, fmt.Errorf("dataio: invalid hierarchy: %v", r)
+		}
+	}()
+	b = hierarchy.NewBuilder(cat)
+	if h == nil {
+		return b, nil
+	}
+	for _, c := range h.Concepts {
+		b.AddConcept(c.Name, c.Parents...)
+	}
+	for name, parents := range h.Placements {
+		id, ok := cat.ItemByName(name)
+		if !ok {
+			return nil, fmt.Errorf("dataio: hierarchy places unknown item %q", name)
+		}
+		b.PlaceItem(id, parents...)
+	}
+	return b, nil
+}
+
+// Write serializes the dataset (and optional hierarchy) to w.
+func Write(w io.Writer, ds *model.Dataset, spec *HierarchySpec) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+
+	h := header{Format: formatV1, Hierarchy: spec}
+	h.Items, h.Promos = EncodeCatalog(ds.Catalog)
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("dataio: writing header: %w", err)
+	}
+	for i := range ds.Transactions {
+		t := &ds.Transactions[i]
+		tj := txnJSON{Target: saleJSON{int32(t.Target.Item), int32(t.Target.Promo), t.Target.Qty}}
+		for _, s := range t.NonTarget {
+			tj.NonTarget = append(tj.NonTarget, saleJSON{int32(s.Item), int32(s.Promo), s.Qty})
+		}
+		if err := enc.Encode(tj); err != nil {
+			return fmt.Errorf("dataio: writing transaction %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a dataset written by Write and validates it.
+func Read(r io.Reader) (*model.Dataset, *HierarchySpec, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("dataio: reading header: %w", err)
+		}
+		return nil, nil, fmt.Errorf("dataio: empty input")
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, nil, fmt.Errorf("dataio: parsing header: %w", err)
+	}
+	if h.Format != formatV1 {
+		return nil, nil, fmt.Errorf("dataio: unsupported format %q", h.Format)
+	}
+
+	cat, err := DecodeCatalog(h.Items, h.Promos)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	ds := &model.Dataset{Catalog: cat}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var tj txnJSON
+		if err := json.Unmarshal(sc.Bytes(), &tj); err != nil {
+			return nil, nil, fmt.Errorf("dataio: line %d: %w", line, err)
+		}
+		t := model.Transaction{
+			Target: model.Sale{Item: model.ItemID(tj.Target.Item), Promo: model.PromoID(tj.Target.Promo), Qty: tj.Target.Qty},
+		}
+		for _, s := range tj.NonTarget {
+			t.NonTarget = append(t.NonTarget, model.Sale{Item: model.ItemID(s.Item), Promo: model.PromoID(s.Promo), Qty: s.Qty})
+		}
+		ds.Transactions = append(ds.Transactions, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("dataio: %w", err)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return ds, h.Hierarchy, nil
+}
+
+// Save writes the dataset to a file.
+func Save(path string, ds *model.Dataset, spec *HierarchySpec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, ds, spec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset from a file.
+func Load(path string) (*model.Dataset, *HierarchySpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

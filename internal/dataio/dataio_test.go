@@ -1,0 +1,205 @@
+package dataio_test
+
+import (
+	"bytes"
+
+	"math"
+	"path/filepath"
+	"profitmining/internal/dataio"
+	"strings"
+	"testing"
+
+	"profitmining/internal/datagen"
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+	"profitmining/internal/quest"
+)
+
+func sampleDataset(t *testing.T) *model.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.DatasetIConfig(quest.Config{
+		NumTransactions: 200,
+		NumItems:        20,
+		AvgTxnLen:       4,
+		AvgPatternLen:   2,
+		NumPatterns:     15,
+		Seed:            5,
+	}, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRoundTrip(t *testing.T) {
+	ds := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := dataio.Write(&buf, ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, spec, err := dataio.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec != nil {
+		t.Error("round trip invented a hierarchy")
+	}
+	if got.Catalog.NumItems() != ds.Catalog.NumItems() || got.Catalog.NumPromos() != ds.Catalog.NumPromos() {
+		t.Fatalf("catalog size mismatch: %d/%d vs %d/%d",
+			got.Catalog.NumItems(), got.Catalog.NumPromos(), ds.Catalog.NumItems(), ds.Catalog.NumPromos())
+	}
+	for _, it := range ds.Catalog.Items() {
+		g := got.Catalog.Item(it.ID)
+		if g.Name != it.Name || g.Target != it.Target {
+			t.Fatalf("item %d mismatch: %+v vs %+v", it.ID, g, it)
+		}
+		for i, pid := range ds.Catalog.Promos(it.ID) {
+			want := ds.Catalog.Promo(pid)
+			have := got.Catalog.Promo(got.Catalog.Promos(it.ID)[i])
+			if math.Abs(want.Price-have.Price) > 1e-12 || math.Abs(want.Cost-have.Cost) > 1e-12 || want.Packing != have.Packing {
+				t.Fatalf("promo mismatch: %+v vs %+v", have, want)
+			}
+		}
+	}
+	if len(got.Transactions) != len(ds.Transactions) {
+		t.Fatalf("transactions: %d vs %d", len(got.Transactions), len(ds.Transactions))
+	}
+	for i := range ds.Transactions {
+		a, b := ds.Transactions[i], got.Transactions[i]
+		if a.Target != b.Target || len(a.NonTarget) != len(b.NonTarget) {
+			t.Fatalf("transaction %d mismatch", i)
+		}
+		for j := range a.NonTarget {
+			if a.NonTarget[j] != b.NonTarget[j] {
+				t.Fatalf("transaction %d sale %d mismatch", i, j)
+			}
+		}
+	}
+	// Recorded profit survives the trip exactly.
+	if math.Abs(got.RecordedProfit()-ds.RecordedProfit()) > 1e-9 {
+		t.Error("recorded profit changed in round trip")
+	}
+}
+
+func TestRoundTripWithHierarchy(t *testing.T) {
+	g := datagen.NewGrocery(50, 3)
+	spec := &dataio.HierarchySpec{
+		Concepts: []dataio.ConceptSpec{
+			{Name: "Cosmetics"},
+			{Name: "Food"},
+			{Name: "Meat", Parents: []string{"Food"}},
+		},
+		Placements: map[string][]string{
+			"Perfume":       {"Cosmetics"},
+			"FlakedChicken": {"Meat"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := dataio.Write(&buf, g.Dataset, spec); err != nil {
+		t.Fatal(err)
+	}
+	ds, gotSpec, err := dataio.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSpec == nil || len(gotSpec.Concepts) != 3 {
+		t.Fatalf("hierarchy lost: %+v", gotSpec)
+	}
+	b, err := gotSpec.Builder(ds.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := b.Compile(hierarchy.Options{MOA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := ds.Catalog.ItemByName("FlakedChicken")
+	// Meat must generalize FlakedChicken in the rebuilt space.
+	meat := findNode(space, "Meat")
+	if meat < 0 || !space.GeneralizesOrEqual(hierarchy.GenID(meat), space.ItemNode(fc)) {
+		t.Error("rebuilt hierarchy lost the Meat ⊃ FlakedChicken edge")
+	}
+}
+
+func findNode(s *hierarchy.Space, name string) int {
+	for g := 0; g < s.NumNodes(); g++ {
+		if s.Name(hierarchy.GenID(g)) == name {
+			return g
+		}
+	}
+	return -1
+}
+
+func TestSaveLoad(t *testing.T) {
+	ds := sampleDataset(t)
+	path := filepath.Join(t.TempDir(), "data.pmjl")
+	if err := dataio.Save(path, ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := dataio.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Transactions) != len(ds.Transactions) {
+		t.Fatal("Load lost transactions")
+	}
+	if _, _, err := dataio.Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("loading a missing file must fail")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"garbage header", "not json\n"},
+		{"wrong format", `{"format":"other/v9"}` + "\n"},
+		{"bad promo item", `{"format":"profitmining/v1","items":[{"name":"A"}],"promos":[{"item":7,"price":1,"cost":0,"packing":1}]}` + "\n"},
+		{"empty item name", `{"format":"profitmining/v1","items":[{"name":""}]}` + "\n"},
+		{"duplicate item", `{"format":"profitmining/v1","items":[{"name":"A"},{"name":"A"}]}` + "\n"},
+		{"garbage txn", `{"format":"profitmining/v1","items":[{"name":"A","target":true}],"promos":[{"item":1,"price":1,"cost":0,"packing":1}]}` + "\nnope\n"},
+		{"invalid txn", `{"format":"profitmining/v1","items":[{"name":"A","target":true}],"promos":[{"item":1,"price":1,"cost":0,"packing":1}]}` + "\n" + `{"nt":[],"t":{"i":1,"p":1,"q":-2}}` + "\n"},
+	}
+	for _, tc := range cases {
+		if _, _, err := dataio.Read(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestHierarchySpecErrors(t *testing.T) {
+	cat := model.NewCatalog()
+	it := cat.AddItem("A", true)
+	cat.AddPromo(it, 1, 0, 1)
+
+	bad := &dataio.HierarchySpec{Concepts: []dataio.ConceptSpec{{Name: "C", Parents: []string{"Missing"}}}}
+	if _, err := bad.Builder(cat); err == nil {
+		t.Error("unknown parent must fail")
+	}
+	unknown := &dataio.HierarchySpec{Placements: map[string][]string{"Ghost": nil}}
+	if _, err := unknown.Builder(cat); err == nil {
+		t.Error("unknown placement item must fail")
+	}
+	var nilSpec *dataio.HierarchySpec
+	if _, err := nilSpec.Builder(cat); err != nil {
+		t.Errorf("nil spec should build an empty hierarchy: %v", err)
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	ds := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := dataio.Write(&buf, ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	withBlank := strings.Replace(buf.String(), "\n", "\n\n", 1)
+	got, _, err := dataio.Read(strings.NewReader(withBlank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Transactions) != len(ds.Transactions) {
+		t.Error("blank line changed transaction count")
+	}
+}

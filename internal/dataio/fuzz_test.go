@@ -1,0 +1,56 @@
+package dataio_test
+
+import (
+	"bytes"
+
+	"profitmining/internal/dataio"
+	"strings"
+	"testing"
+
+	"profitmining/internal/datagen"
+	"profitmining/internal/quest"
+)
+
+// FuzzRead asserts the file parser's robustness contract: arbitrary input
+// must produce a dataset or an error, never a panic, and anything the
+// parser accepts must pass model validation (Read validates internally).
+func FuzzRead(f *testing.F) {
+	// Seed with a real file and characteristic corruptions.
+	ds, err := datagen.Generate(datagen.DatasetIConfig(quest.Config{
+		NumTransactions: 20, NumItems: 10, AvgTxnLen: 3, Seed: 1,
+	}, 2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dataio.Write(&buf, ds, nil); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	f.Add("")
+	f.Add("{}\n")
+	f.Add(`{"format":"profitmining/v1","items":[{"name":"A","target":true}],"promos":[{"item":1,"price":1,"cost":0,"packing":1}]}` + "\n" + `{"nt":[],"t":{"i":1,"p":1,"q":1}}` + "\n")
+	f.Add(strings.Replace(valid, `"q":1`, `"q":-1`, 1))
+	f.Add(strings.Replace(valid, `"item":1`, `"item":99`, 1))
+	f.Add(valid + "garbage\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, _, err := dataio.Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted input round-trips.
+		var out bytes.Buffer
+		if err := dataio.Write(&out, ds, nil); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		again, _, err := dataio.Read(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+		if len(again.Transactions) != len(ds.Transactions) {
+			t.Fatal("round trip changed transaction count")
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package dataio
+
+import (
+	"fmt"
+
+	"profitmining/internal/model"
+)
+
+// SyntheticHierarchySpec builds a balanced multi-level concept hierarchy
+// over a catalog's non-target items in serializable form: leaves grouped
+// fanout-at-a-time under level-1 concepts ("g1-0001", …), grouped again
+// ("g2-0001", …) until a level fits under the root. It provides the
+// multi-level generalization structure of [SA95, HF95] for synthetic
+// datasets, whose catalogs are otherwise flat.
+func SyntheticHierarchySpec(cat *model.Catalog, fanout int) *HierarchySpec {
+	if fanout < 2 {
+		panic(fmt.Sprintf("dataio: SyntheticHierarchySpec fanout %d must be at least 2", fanout))
+	}
+	var nonTargets []model.ItemID
+	for _, it := range cat.Items() {
+		if !it.Target {
+			nonTargets = append(nonTargets, it.ID)
+		}
+	}
+	sizes := []int{ceilDiv(len(nonTargets), fanout)}
+	for sizes[len(sizes)-1] > fanout {
+		sizes = append(sizes, ceilDiv(sizes[len(sizes)-1], fanout))
+	}
+
+	spec := &HierarchySpec{Placements: map[string][]string{}}
+	name := func(level, idx int) string { return fmt.Sprintf("g%d-%04d", level, idx+1) }
+	for li := len(sizes) - 1; li >= 0; li-- {
+		level := li + 1
+		for i := 0; i < sizes[li]; i++ {
+			c := ConceptSpec{Name: name(level, i)}
+			if li < len(sizes)-1 {
+				c.Parents = []string{name(level+1, i/fanout)}
+			}
+			spec.Concepts = append(spec.Concepts, c)
+		}
+	}
+	for j, item := range nonTargets {
+		spec.Placements[cat.Item(item).Name] = []string{name(1, j/fanout)}
+	}
+	return spec
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

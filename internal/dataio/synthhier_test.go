@@ -1,0 +1,91 @@
+package dataio_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"profitmining/internal/dataio"
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+)
+
+func smallCatalog(t *testing.T, nonTargets int) *model.Catalog {
+	t.Helper()
+	cat := model.NewCatalog()
+	for i := 0; i < nonTargets; i++ {
+		id := cat.AddItem(string(rune('a'+i))+"-item", false)
+		cat.AddPromo(id, 1, 0.5, 1)
+	}
+	tgt := cat.AddItem("tgt", true)
+	cat.AddPromo(tgt, 5, 2, 1)
+	return cat
+}
+
+func TestSyntheticHierarchySpec(t *testing.T) {
+	cat := smallCatalog(t, 9)
+	spec := dataio.SyntheticHierarchySpec(cat, 3)
+	// 9 items → 3 level-1 concepts (≤ fanout: one level).
+	if len(spec.Concepts) != 3 {
+		t.Fatalf("concepts = %d, want 3", len(spec.Concepts))
+	}
+	if len(spec.Placements) != 9 {
+		t.Fatalf("placements = %d, want 9", len(spec.Placements))
+	}
+	// The spec compiles against its own catalog.
+	b, err := spec.Builder(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := b.Compile(hierarchy.Options{MOA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target stays a child of the root.
+	tgt, _ := cat.ItemByName("tgt")
+	for _, a := range space.Ancestors(space.ItemNode(tgt)) {
+		if space.Kind(a) == hierarchy.KindConcept {
+			t.Error("target placed under a concept")
+		}
+	}
+}
+
+func TestSyntheticHierarchySpecMultiLevel(t *testing.T) {
+	cat := smallCatalog(t, 20)
+	spec := dataio.SyntheticHierarchySpec(cat, 3)
+	// 20 items → 7 level-1 + 3 level-2 concepts.
+	if len(spec.Concepts) != 10 {
+		t.Fatalf("concepts = %d, want 10", len(spec.Concepts))
+	}
+	withParents := 0
+	for _, c := range spec.Concepts {
+		if len(c.Parents) > 0 {
+			withParents++
+		}
+	}
+	if withParents != 7 {
+		t.Errorf("level-1 concepts with parents = %d, want 7", withParents)
+	}
+}
+
+func TestSyntheticHierarchySpecPanics(t *testing.T) {
+	cat := smallCatalog(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("fanout 1 must panic")
+		}
+	}()
+	dataio.SyntheticHierarchySpec(cat, 1)
+}
+
+func TestSaveErrorPaths(t *testing.T) {
+	ds := sampleDataset(t)
+	// Unwritable destination (directory path).
+	dir := t.TempDir()
+	if err := dataio.Save(dir, ds, nil); err == nil {
+		t.Error("saving to a directory path must fail")
+	}
+	// Nested missing directory.
+	if err := dataio.Save(filepath.Join(dir, "no", "such", "dir", "f"), ds, nil); err == nil {
+		t.Error("saving into a missing directory must fail")
+	}
+}

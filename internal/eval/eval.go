@@ -1,0 +1,354 @@
+// Package eval implements the paper's evaluation methodology (Section 5):
+// 5-fold cross-validation, the gain and hit-rate metrics, hit rate by
+// profit range, the stochastic (x, y) purchase-behavior settings, and the
+// experiment sweeps behind every panel of Figures 3 and 4.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"profitmining/internal/model"
+	"profitmining/internal/stats"
+)
+
+// Recommend is the minimal recommender interface the harness evaluates: a
+// basket of non-target sales in, one ⟨target item, promotion code⟩ out.
+type Recommend func(model.Basket) (model.ItemID, model.PromoID)
+
+// Behavior is the stochastic purchase model of Section 5.3: when the
+// recommended price is 1–2 favorability steps below the recorded price the
+// customer multiplies the purchase quantity by NearX with probability
+// NearY; 3 or more steps below, by FarX with probability FarY. The zero
+// value disables the model (the conservative saving-MOA evaluation).
+type Behavior struct {
+	NearX, NearY float64
+	FarX, FarY   float64
+}
+
+// Enabled reports whether the behavior model has any effect.
+func (b Behavior) Enabled() bool { return b != Behavior{} }
+
+// Label renders the paper's "(x=2,y=30%)" notation, or "" when disabled.
+func (b Behavior) Label() string {
+	if !b.Enabled() {
+		return ""
+	}
+	near := ""
+	if b.NearX != 0 || b.NearY != 0 {
+		near = fmt.Sprintf("(x=%g,y=%g%%)", b.NearX, b.NearY*100)
+	}
+	far := ""
+	if b.FarX != 0 || b.FarY != 0 {
+		far = fmt.Sprintf("(x=%g,y=%g%%)", b.FarX, b.FarY*100)
+	}
+	if near != "" && far != "" {
+		return near + "+" + far
+	}
+	return near + far
+}
+
+// PaperBehavior is the combined behavior setting of Section 5.3: 1–2
+// steps → double with probability 30%; 3+ steps → triple with
+// probability 40%.
+var PaperBehavior = Behavior{NearX: 2, NearY: 0.3, FarX: 3, FarY: 0.4}
+
+// NearBehavior is the near band alone — the paper's "(x=2,y=30%)" curve.
+var NearBehavior = Behavior{NearX: 2, NearY: 0.3}
+
+// Options configures one evaluation pass.
+type Options struct {
+	// MOAHits accepts a recommendation when the recommended promotion
+	// code is equally or more favorable than the recorded one (shopping
+	// on unavailability). Without it only exact promotion matches hit —
+	// the −MOA evaluation.
+	MOAHits bool
+
+	// Quantity estimates the accepted quantity on a hit (default
+	// model.SavingMOA).
+	Quantity model.QuantityModel
+
+	// Behavior optionally applies the stochastic quantity multipliers on
+	// top of Quantity.
+	Behavior Behavior
+
+	// Seed drives the behavior randomness.
+	Seed int64
+
+	// MaxSaleProfit fixes the top of the profit-range buckets (Figure
+	// 3(d)); 0 computes it from the validation transactions.
+	MaxSaleProfit float64
+}
+
+// Metrics accumulates evaluation results. Counts are summed, so metrics
+// pool naturally across folds.
+type Metrics struct {
+	N    int // validation transactions
+	Hits int // accepted recommendations
+
+	GeneratedProfit float64 // Σ p(r, t)
+	RecordedProfit  float64 // Σ recorded target profit
+
+	// Low/Medium/High thirds of the maximum single-sale profit
+	// (Figure 3(d)): transactions and hits per bucket, bucketed by the
+	// recorded profit of the transaction's target sale.
+	RangeN    [3]int
+	RangeHits [3]int
+}
+
+// Gain is the paper's headline metric: generated profit over recorded
+// profit in the validation transactions.
+func (m Metrics) Gain() float64 {
+	if m.RecordedProfit == 0 {
+		return 0
+	}
+	return m.GeneratedProfit / m.RecordedProfit
+}
+
+// HitRate is the fraction of accepted recommendations.
+func (m Metrics) HitRate() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(m.N)
+}
+
+// RangeHitRate returns the hit rate within profit bucket i (0 = Low,
+// 1 = Medium, 2 = High).
+func (m Metrics) RangeHitRate(i int) float64 {
+	if m.RangeN[i] == 0 {
+		return 0
+	}
+	return float64(m.RangeHits[i]) / float64(m.RangeN[i])
+}
+
+// Merge adds other's counts into m.
+func (m *Metrics) Merge(other Metrics) {
+	m.N += other.N
+	m.Hits += other.Hits
+	m.GeneratedProfit += other.GeneratedProfit
+	m.RecordedProfit += other.RecordedProfit
+	for i := range m.RangeN {
+		m.RangeN[i] += other.RangeN[i]
+		m.RangeHits[i] += other.RangeHits[i]
+	}
+}
+
+// Evaluate runs the recommender over the validation transactions.
+func Evaluate(cat *model.Catalog, validation []model.Transaction, rec Recommend, opts Options) Metrics {
+	if opts.Quantity == nil {
+		opts.Quantity = model.SavingMOA{}
+	}
+	maxProfit := opts.MaxSaleProfit
+	if maxProfit == 0 {
+		for i := range validation {
+			if p := cat.SaleProfit(validation[i].Target); p > maxProfit {
+				maxProfit = p
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var m Metrics
+	for i := range validation {
+		t := &validation[i]
+		recorded := cat.SaleProfit(t.Target)
+		m.N++
+		m.RecordedProfit += recorded
+
+		bucket := profitBucket(recorded, maxProfit)
+		m.RangeN[bucket]++
+
+		item, promo := rec(t.NonTarget)
+		if !isHit(cat, item, promo, t.Target, opts.MOAHits) {
+			continue
+		}
+		m.Hits++
+		m.RangeHits[bucket]++
+
+		recP := cat.Promo(promo)
+		oldP := cat.Promo(t.Target.Promo)
+		qty := opts.Quantity.Quantity(recP, oldP, t.Target.Qty)
+		if opts.Behavior.Enabled() {
+			switch steps := model.FavorabilitySteps(cat, promo, t.Target.Promo); {
+			case steps >= 3:
+				if rng.Float64() < opts.Behavior.FarY {
+					qty *= opts.Behavior.FarX
+				}
+			case steps >= 1:
+				if rng.Float64() < opts.Behavior.NearY {
+					qty *= opts.Behavior.NearX
+				}
+			}
+		}
+		m.GeneratedProfit += recP.Profit() * qty
+	}
+	return m
+}
+
+// isHit implements the acceptance test: same target item, and the
+// recommended code equal to (exact) or at least as favorable as (MOA) the
+// recorded code.
+func isHit(cat *model.Catalog, item model.ItemID, promo model.PromoID, target model.Sale, moa bool) bool {
+	if item != target.Item {
+		return false
+	}
+	if promo == target.Promo {
+		return true
+	}
+	if !moa {
+		return false
+	}
+	return model.FavorableOrEqual(cat.Promo(promo), cat.Promo(target.Promo))
+}
+
+func profitBucket(p, max float64) int {
+	if max <= 0 {
+		return 0
+	}
+	switch {
+	case p <= max/3:
+		return 0
+	case p <= 2*max/3:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Folds partitions {0,…,n−1} into k shuffled folds of (nearly) equal size
+// — the 5-fold cross-validation splitter of Section 5.1.
+func Folds(n, k int, seed int64) [][]int {
+	if k < 2 || n < k {
+		panic(fmt.Sprintf("eval: Folds(%d, %d) needs n ≥ k ≥ 2", n, k))
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	return folds
+}
+
+// BuildInfo reports model-size statistics from a Builder, averaged over
+// folds by CrossValidate.
+type BuildInfo struct {
+	RulesGenerated float64 // mined rules (incl. default)
+	RulesFinal     float64 // rules after pruning (0 for model-free baselines)
+}
+
+// Builder constructs a recommender from training transactions.
+type Builder func(train []model.Transaction) (Recommend, BuildInfo, error)
+
+// CrossValidate runs k-fold cross-validation: for each fold it builds on
+// the other folds and evaluates the held-back fold once per entry of
+// evalOpts (so expensive builds are shared across evaluation settings).
+// Folds run concurrently up to GOMAXPROCS; results are deterministic
+// because every fold is independent and behavior randomness is seeded per
+// fold. The returned metrics are pooled over folds, index-aligned with
+// evalOpts; perFold carries the unpooled per-fold metrics
+// (perFold[i][f] = evalOpts[i] on fold f) for variance reporting.
+func CrossValidate(ds *model.Dataset, k int, seed int64, build Builder, evalOpts []Options) ([]Metrics, [][]Metrics, BuildInfo, error) {
+	folds := Folds(len(ds.Transactions), k, seed)
+	perFold := make([][]Metrics, len(evalOpts))
+	for i := range perFold {
+		perFold[i] = make([]Metrics, k)
+	}
+	infos := make([]BuildInfo, k)
+	errs := make([]error, k)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fi := range next {
+				fold := folds[fi]
+				inFold := make([]bool, len(ds.Transactions))
+				for _, i := range fold {
+					inFold[i] = true
+				}
+				train := make([]model.Transaction, 0, len(ds.Transactions)-len(fold))
+				for i := range ds.Transactions {
+					if !inFold[i] {
+						train = append(train, ds.Transactions[i])
+					}
+				}
+				validation := make([]model.Transaction, 0, len(fold))
+				for _, i := range fold {
+					validation = append(validation, ds.Transactions[i])
+				}
+
+				rec, bi, err := build(train)
+				if err != nil {
+					errs[fi] = fmt.Errorf("eval: fold %d: %w", fi, err)
+					continue
+				}
+				infos[fi] = bi
+				for oi, opts := range evalOpts {
+					opts.Seed = seed + int64(fi)
+					perFold[oi][fi] = Evaluate(ds.Catalog, validation, rec, opts)
+				}
+			}
+		}()
+	}
+	for fi := range folds {
+		next <- fi
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, BuildInfo{}, err
+		}
+	}
+	out := make([]Metrics, len(evalOpts))
+	var info BuildInfo
+	for fi := 0; fi < k; fi++ {
+		info.RulesGenerated += infos[fi].RulesGenerated
+		info.RulesFinal += infos[fi].RulesFinal
+		for oi := range evalOpts {
+			out[oi].Merge(perFold[oi][fi])
+		}
+	}
+	info.RulesGenerated /= float64(k)
+	info.RulesFinal /= float64(k)
+	return out, perFold, info, nil
+}
+
+// GainStd returns the sample standard deviation of the per-fold gains —
+// the error bars of a figure series.
+func GainStd(perFold []Metrics) float64 {
+	gains := make([]float64, len(perFold))
+	for i, m := range perFold {
+		gains[i] = m.Gain()
+	}
+	return stats.Summarize(gains).Std
+}
+
+// TargetProfitHistogram builds the recorded-profit distribution of target
+// sales (Figures 3(e) and 4(e)).
+func TargetProfitHistogram(ds *model.Dataset, bins int) *stats.Histogram {
+	maxP := 0.0
+	for i := range ds.Transactions {
+		if p := ds.Catalog.SaleProfit(ds.Transactions[i].Target); p > maxP {
+			maxP = p
+		}
+	}
+	if maxP == 0 {
+		maxP = 1
+	}
+	h := stats.NewHistogram(0, maxP*1.0001, bins)
+	for i := range ds.Transactions {
+		h.Add(ds.Catalog.SaleProfit(ds.Transactions[i].Target))
+	}
+	return h
+}

@@ -1,0 +1,243 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"profitmining/internal/model"
+)
+
+// SweepPoint is one measured point of a figure: a (variant, minimum
+// support, behavior setting) triple with its pooled cross-validation
+// metrics and average model size.
+type SweepPoint struct {
+	Variant    Variant
+	MinSupport float64
+	Behavior   Behavior
+	Metrics    Metrics   // pooled over folds
+	PerFold    []Metrics // unpooled, for variance reporting
+	Info       BuildInfo
+}
+
+// GainStd returns the per-fold standard deviation of the gain.
+func (p SweepPoint) GainStd() float64 { return GainStd(p.PerFold) }
+
+// SweepConfig drives RunSweep.
+type SweepConfig struct {
+	Variants    []Variant
+	MinSupports []float64  // rule variants are built once per value
+	Behaviors   []Behavior // evaluation settings; the zero Behavior is the plain run
+	Folds       int        // default 5
+	Seed        int64
+	Config      VariantConfig // MinSupport is overridden by the sweep
+}
+
+// RunSweep runs the cross-validated sweep behind Figures 3(a–d, f) and
+// 4(a–d, f): for every rule-based variant and minimum support it builds
+// once per fold and evaluates once per behavior setting; model-free
+// variants (kNN, MPI) are built once and their flat curves replicated
+// across support values, as in the paper's plots.
+func RunSweep(ds *model.Dataset, spaces SpaceFactory, cfg SweepConfig) ([]SweepPoint, error) {
+	if cfg.Folds == 0 {
+		cfg.Folds = 5
+	}
+	if len(cfg.Behaviors) == 0 {
+		cfg.Behaviors = []Behavior{{}}
+	}
+	if len(cfg.MinSupports) == 0 {
+		return nil, fmt.Errorf("eval: no minimum supports configured")
+	}
+
+	var out []SweepPoint
+	for _, v := range cfg.Variants {
+		evalOpts := make([]Options, len(cfg.Behaviors))
+		for i, b := range cfg.Behaviors {
+			evalOpts[i] = Options{
+				MOAHits:  v.UsesMOA(),
+				Quantity: model.SavingMOA{},
+				Behavior: b,
+			}
+		}
+
+		supports := cfg.MinSupports
+		if !v.RuleBased() {
+			supports = supports[:1] // one build, replicated below
+		}
+		var flat []SweepPoint
+		for _, ms := range supports {
+			vc := cfg.Config
+			vc.MinSupport = ms
+			builder := NewBuilder(v, ds.Catalog, spaces, vc)
+			metrics, perFold, info, err := CrossValidate(ds, cfg.Folds, cfg.Seed, builder, evalOpts)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s at minsup %g: %w", v, ms, err)
+			}
+			for bi, m := range metrics {
+				p := SweepPoint{
+					Variant:    v,
+					MinSupport: ms,
+					Behavior:   cfg.Behaviors[bi],
+					Metrics:    m,
+					PerFold:    perFold[bi],
+					Info:       info,
+				}
+				out = append(out, p)
+				if !v.RuleBased() {
+					flat = append(flat, p)
+				}
+			}
+		}
+		// Replicate model-free variants across the remaining support
+		// values so every figure series has the same x-axis.
+		if !v.RuleBased() {
+			for _, ms := range cfg.MinSupports[1:] {
+				for _, p := range flat {
+					p.MinSupport = ms
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// FilterPoints returns the points matching the given predicate.
+func FilterPoints(points []SweepPoint, keep func(SweepPoint) bool) []SweepPoint {
+	var out []SweepPoint
+	for _, p := range points {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// seriesKey labels one curve of a figure.
+func seriesKey(p SweepPoint) string {
+	if l := p.Behavior.Label(); l != "" {
+		return string(p.Variant) + " " + l
+	}
+	return string(p.Variant)
+}
+
+// FormatGainTable renders gain-vs-support series (Figures 3(a), 3(b),
+// 4(a), 4(b)) as an aligned text table, one row per minimum support, one
+// column per variant/behavior series.
+func FormatGainTable(points []SweepPoint) string {
+	return formatTable(points, func(p SweepPoint) float64 { return p.Metrics.Gain() }, "gain")
+}
+
+// FormatGainStdTable renders gain ± per-fold standard deviation, one row
+// per (variant, support) point — the error bars behind the gain figures.
+func FormatGainStdTable(points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %16s\n", "series", "minsup", "gain ± std")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-24s %9.3g%% %10.4f ± %.4f\n",
+			seriesKey(p), p.MinSupport*100, p.Metrics.Gain(), p.GainStd())
+	}
+	return b.String()
+}
+
+// FormatHitRateTable renders hit-rate-vs-support series (Figures 3(c),
+// 4(c)).
+func FormatHitRateTable(points []SweepPoint) string {
+	return formatTable(points, func(p SweepPoint) float64 { return p.Metrics.HitRate() }, "hit rate")
+}
+
+// FormatRuleCountTable renders rules-vs-support series (Figures 3(f),
+// 4(f)), final rule counts after pruning.
+func FormatRuleCountTable(points []SweepPoint) string {
+	return formatTable(points, func(p SweepPoint) float64 { return p.Info.RulesFinal }, "# rules")
+}
+
+func formatTable(points []SweepPoint, value func(SweepPoint) float64, what string) string {
+	supports := map[float64]bool{}
+	series := map[string]map[float64]float64{}
+	var seriesOrder []string
+	for _, p := range points {
+		supports[p.MinSupport] = true
+		key := seriesKey(p)
+		if series[key] == nil {
+			series[key] = map[float64]float64{}
+			seriesOrder = append(seriesOrder, key)
+		}
+		series[key][p.MinSupport] = value(p)
+	}
+	var sups []float64
+	for s := range supports {
+		sups = append(sups, s)
+	}
+	sort.Float64s(sups)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", what+" \\ minsup")
+	for _, s := range sups {
+		fmt.Fprintf(&b, " %8.3g%%", s*100)
+	}
+	b.WriteString("\n")
+	for _, key := range seriesOrder {
+		fmt.Fprintf(&b, "%-10s", key)
+		for _, s := range sups {
+			if v, ok := series[key][s]; ok {
+				fmt.Fprintf(&b, " %9.4g", v)
+			} else {
+				fmt.Fprintf(&b, " %9s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// WriteSweepCSV writes the raw sweep points as CSV — one row per
+// (variant, support, behavior) — for plotting the figures with external
+// tools.
+func WriteSweepCSV(w io.Writer, points []SweepPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"variant", "minSupport", "behavior", "gain", "gainStd", "hitRate",
+		"hitLow", "hitMedium", "hitHigh", "rulesGenerated", "rulesFinal",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, p := range points {
+		row := []string{
+			string(p.Variant),
+			f(p.MinSupport),
+			p.Behavior.Label(),
+			f(p.Metrics.Gain()),
+			f(p.GainStd()),
+			f(p.Metrics.HitRate()),
+			f(p.Metrics.RangeHitRate(0)),
+			f(p.Metrics.RangeHitRate(1)),
+			f(p.Metrics.RangeHitRate(2)),
+			f(p.Info.RulesGenerated),
+			f(p.Info.RulesFinal),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatRangeHitRates renders the hit-rate-by-profit-range bar chart of
+// Figures 3(d) and 4(d) for the given points (typically one minimum
+// support).
+func FormatRangeHitRates(points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s\n", "recommender", "Low", "Medium", "High")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-12s %7.1f%% %7.1f%% %7.1f%%\n", seriesKey(p),
+			100*p.Metrics.RangeHitRate(0), 100*p.Metrics.RangeHitRate(1), 100*p.Metrics.RangeHitRate(2))
+	}
+	return b.String()
+}

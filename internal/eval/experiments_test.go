@@ -1,0 +1,208 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"profitmining/internal/datagen"
+	"profitmining/internal/quest"
+)
+
+func TestRunSweepShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	ds, err := datagen.Generate(datagen.DatasetIConfig(quest.Config{
+		NumTransactions: 2000,
+		NumItems:        60,
+		AvgTxnLen:       6,
+		AvgPatternLen:   3,
+		NumPatterns:     60,
+		Seed:            31,
+	}, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaces := FlatSpaces(ds.Catalog)
+
+	points, err := RunSweep(ds, spaces, SweepConfig{
+		Variants:    PaperVariants,
+		MinSupports: []float64{0.01, 0.02},
+		Behaviors:   []Behavior{{}, PaperBehavior},
+		Folds:       5,
+		Seed:        3,
+		Config:      VariantConfig{MaxBodyLen: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Index: variant → minsup → behavior label → point.
+	get := func(v Variant, ms float64, label string) *SweepPoint {
+		for i := range points {
+			p := &points[i]
+			if p.Variant == v && p.MinSupport == ms && p.Behavior.Label() == label {
+				return p
+			}
+		}
+		t.Fatalf("missing point %s/%g/%q", v, ms, label)
+		return nil
+	}
+
+	// Every series has every x value.
+	for _, v := range PaperVariants {
+		for _, ms := range []float64{0.01, 0.02} {
+			get(v, ms, "")
+		}
+	}
+
+	for _, ms := range []float64{0.01, 0.02} {
+		prof := get(ProfMOA, ms, "")
+		confNo := get(ConfNoMOA, ms, "")
+		profNo := get(ProfNoMOA, ms, "")
+
+		// Paper shape 1: PROF+MOA beats the no-MOA variants on gain.
+		if prof.Metrics.Gain() <= profNo.Metrics.Gain() {
+			t.Errorf("minsup %g: PROF+MOA gain %.3f not above PROF-MOA %.3f",
+				ms, prof.Metrics.Gain(), profNo.Metrics.Gain())
+		}
+		if prof.Metrics.Gain() <= confNo.Metrics.Gain() {
+			t.Errorf("minsup %g: PROF+MOA gain %.3f not above CONF-MOA %.3f",
+				ms, prof.Metrics.Gain(), confNo.Metrics.Gain())
+		}
+
+		// Paper shape 2: gains are ≤ 1 under plain saving MOA.
+		for _, v := range PaperVariants {
+			if g := get(v, ms, "").Metrics.Gain(); g > 1+1e-9 {
+				t.Errorf("%s gain %g exceeds 1 under saving MOA", v, g)
+			}
+		}
+
+		// Paper shape 3: the behavior setting raises the MOA gains.
+		label := PaperBehavior.Label()
+		if b := get(ProfMOA, ms, label); b.Metrics.Gain() < prof.Metrics.Gain() {
+			t.Errorf("behavior setting lowered PROF+MOA gain: %.3f < %.3f",
+				b.Metrics.Gain(), prof.Metrics.Gain())
+		}
+
+		// Rule counts present for rule-based variants only.
+		if prof.Info.RulesFinal <= 0 {
+			t.Error("PROF+MOA reports no rules")
+		}
+		if knn := get(KNN, ms, ""); knn.Info.RulesFinal != 0 {
+			t.Error("kNN should report no rules")
+		}
+	}
+
+	// kNN flat line: identical metrics at both supports.
+	if a, b := get(KNN, 0.01, ""), get(KNN, 0.02, ""); a.Metrics != b.Metrics {
+		t.Error("kNN metrics should be identical across supports")
+	}
+
+	// Formatting smoke tests.
+	gainTable := FormatGainTable(points)
+	for _, want := range []string{"PROF+MOA", "kNN", "MPI", "1%"} {
+		if !strings.Contains(gainTable, want) {
+			t.Errorf("gain table missing %q:\n%s", want, gainTable)
+		}
+	}
+	if !strings.Contains(FormatHitRateTable(points), "PROF+MOA") {
+		t.Error("hit-rate table malformed")
+	}
+	if !strings.Contains(FormatRuleCountTable(points), "PROF+MOA") {
+		t.Error("rule-count table malformed")
+	}
+	plain := FilterPoints(points, func(p SweepPoint) bool {
+		return p.MinSupport == 0.01 && !p.Behavior.Enabled()
+	})
+	rr := FormatRangeHitRates(plain)
+	if !strings.Contains(rr, "Low") || !strings.Contains(rr, "High") {
+		t.Errorf("range table malformed:\n%s", rr)
+	}
+}
+
+// TestDatasetIIShapes mirrors the paper's "the result is consistent with
+// dataset I" claim (Figure 4): the recommender ordering survives the
+// harder 10-target × 4-price setting.
+func TestDatasetIIShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	ds, err := datagen.Generate(datagen.DatasetIIConfig(quest.Config{
+		NumTransactions: 2500,
+		NumItems:        120,
+		AvgTxnLen:       6,
+		Seed:            41,
+	}, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := RunSweep(ds, FlatSpaces(ds.Catalog), SweepConfig{
+		Variants:    []Variant{ProfMOA, ProfNoMOA, ConfMOA, MPI},
+		MinSupports: []float64{0.008},
+		Folds:       5,
+		Seed:        6,
+		Config:      VariantConfig{MaxBodyLen: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(v Variant) Metrics {
+		for _, p := range points {
+			if p.Variant == v {
+				return p.Metrics
+			}
+		}
+		t.Fatalf("missing %s", v)
+		return Metrics{}
+	}
+	prof := get(ProfMOA)
+	if prof.Gain() <= get(ProfNoMOA).Gain() {
+		t.Errorf("dataset II: PROF+MOA gain %.3f not above PROF-MOA %.3f",
+			prof.Gain(), get(ProfNoMOA).Gain())
+	}
+	if prof.Gain() <= get(MPI).Gain() {
+		t.Errorf("dataset II: PROF+MOA gain %.3f not above MPI %.3f",
+			prof.Gain(), get(MPI).Gain())
+	}
+	// CONF+MOA chases hit rate, and with 40 possible heads MPI's hit rate
+	// collapses (the paper's 1/40-random-rate argument).
+	if conf := get(ConfMOA); conf.HitRate() <= prof.HitRate() {
+		t.Errorf("dataset II: CONF+MOA hit %.3f not above PROF+MOA %.3f",
+			conf.HitRate(), prof.HitRate())
+	}
+	if mpi := get(MPI); mpi.HitRate() > 0.4 {
+		t.Errorf("dataset II: MPI hit rate %.3f suspiciously high for 40 heads", mpi.HitRate())
+	}
+	// Gains stay within the saving-MOA bound.
+	for _, p := range points {
+		if p.Metrics.Gain() > 1+1e-9 {
+			t.Errorf("%s gain %g exceeds 1", p.Variant, p.Metrics.Gain())
+		}
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	ds, err := datagen.Generate(datagen.DatasetIConfig(quest.Config{
+		NumTransactions: 100,
+		NumItems:        20,
+		AvgTxnLen:       4,
+		AvgPatternLen:   2,
+		NumPatterns:     10,
+		Seed:            1,
+	}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSweep(ds, FlatSpaces(ds.Catalog), SweepConfig{
+		Variants: []Variant{ProfMOA},
+	}); err == nil {
+		t.Error("missing supports must fail")
+	}
+	if _, err := RunSweep(ds, FlatSpaces(ds.Catalog), SweepConfig{
+		Variants:    []Variant{Variant("bogus")},
+		MinSupports: []float64{0.05},
+	}); err == nil {
+		t.Error("unknown variant must fail")
+	}
+}

@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"profitmining/internal/datagen"
+	"profitmining/internal/model"
+	"profitmining/internal/quest"
+)
+
+func TestVariantFlags(t *testing.T) {
+	cases := []struct {
+		v         Variant
+		moa, rule bool
+	}{
+		{ProfMOA, true, true},
+		{ProfNoMOA, false, true},
+		{ConfMOA, true, true},
+		{ConfNoMOA, false, true},
+		{KNN, true, false},
+		{KNNRerank, true, false},
+		{MPI, true, false},
+	}
+	for _, tc := range cases {
+		if got := tc.v.UsesMOA(); got != tc.moa {
+			t.Errorf("%s.UsesMOA = %v, want %v", tc.v, got, tc.moa)
+		}
+		if got := tc.v.RuleBased(); got != tc.rule {
+			t.Errorf("%s.RuleBased = %v, want %v", tc.v, got, tc.rule)
+		}
+	}
+	if len(PaperVariants) != 6 {
+		t.Errorf("PaperVariants = %d, want the paper's six recommenders", len(PaperVariants))
+	}
+}
+
+func variantFixture(t *testing.T) (*model.Dataset, SpaceFactory) {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.DatasetIConfig(quest.Config{
+		NumTransactions: 600,
+		NumItems:        40,
+		AvgTxnLen:       5,
+		Seed:            2,
+	}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, FlatSpaces(ds.Catalog)
+}
+
+func TestNewBuilderAllVariants(t *testing.T) {
+	ds, spaces := variantFixture(t)
+	train := ds.Transactions[:500]
+	basket := ds.Transactions[500].NonTarget
+
+	for _, v := range append(append([]Variant{}, PaperVariants...), KNNRerank, Random) {
+		b := NewBuilder(v, ds.Catalog, spaces, VariantConfig{MinSupport: 0.02, K: 3})
+		rec, info, err := b(train)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		item, promo := rec(basket)
+		if item == 0 || promo == 0 {
+			t.Errorf("%s recommended nothing", v)
+		}
+		if !ds.Catalog.Item(item).Target {
+			t.Errorf("%s recommended a non-target item", v)
+		}
+		if p := ds.Catalog.Promo(promo); p.Item != item {
+			t.Errorf("%s recommended promo of a different item", v)
+		}
+		if v.RuleBased() && info.RulesFinal == 0 {
+			t.Errorf("%s reports no rules", v)
+		}
+		if !v.RuleBased() && info.RulesFinal != 0 {
+			t.Errorf("%s reports rules", v)
+		}
+	}
+}
+
+func TestNewBuilderUnknownVariant(t *testing.T) {
+	ds, spaces := variantFixture(t)
+	b := NewBuilder(Variant("nope"), ds.Catalog, spaces, VariantConfig{MinSupport: 0.1})
+	if _, _, err := b(ds.Transactions); err == nil {
+		t.Error("unknown variant must error at build time")
+	}
+}
+
+func TestFlatSpacesCached(t *testing.T) {
+	ds, spaces := variantFixture(t)
+	if spaces(true) != spaces(true) || spaces(false) != spaces(false) {
+		t.Error("FlatSpaces must reuse compiled spaces")
+	}
+	if spaces(true) == spaces(false) {
+		t.Error("MOA and no-MOA spaces must differ")
+	}
+	if !spaces(true).MOA() || spaces(false).MOA() {
+		t.Error("space MOA flags wrong")
+	}
+	_ = ds
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	ds, spaces := variantFixture(t)
+	points, err := RunSweep(ds, spaces, SweepConfig{
+		Variants:    []Variant{ProfMOA, Random},
+		MinSupports: []float64{0.05},
+		Folds:       3,
+		Config:      VariantConfig{MaxBodyLen: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(points)+1 {
+		t.Fatalf("CSV rows = %d, want %d", len(rows), len(points)+1)
+	}
+	if rows[0][0] != "variant" || len(rows[0]) != 11 {
+		t.Errorf("CSV header = %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if g, err := strconv.ParseFloat(row[3], 64); err != nil || g < 0 || g > 1 {
+			t.Errorf("gain cell %q invalid", row[3])
+		}
+	}
+}
+
+func TestBinaryProfitVariantMaximizesHitRate(t *testing.T) {
+	// CONF+MOA must recommend the most-hittable promo: under MOA the
+	// lowest price of the chosen item always weakly dominates on hits.
+	ds, spaces := variantFixture(t)
+	b := NewBuilder(ConfMOA, ds.Catalog, spaces, VariantConfig{MinSupport: 0.02})
+	rec, _, err := b(ds.Transactions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		item, promo := rec(ds.Transactions[i].NonTarget)
+		promos := ds.Catalog.Promos(item)
+		lowest := promos[0]
+		for _, pid := range promos {
+			if ds.Catalog.Promo(pid).Price < ds.Catalog.Promo(lowest).Price {
+				lowest = pid
+			}
+		}
+		if promo != lowest {
+			// Not a hard guarantee per basket (tie-breaks), but the bulk
+			// must be the lowest price.
+			t.Logf("basket %d: CONF+MOA chose %v, lowest is %v", i, promo, lowest)
+		}
+	}
+}

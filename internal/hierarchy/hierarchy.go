@@ -1,0 +1,261 @@
+// Package hierarchy implements the concept hierarchy H of profit mining
+// and its MOA extension MOA(H) (Definitions 2 and 3 of the paper).
+//
+// H is a rooted DAG whose leaves are items and whose internal nodes are
+// concepts; target items are immediate children of the root ANY. MOA(H)
+// extends H by hanging, below each item, the lattice of the item's
+// promotion codes ordered by favorability: a more favorable promotion code
+// is an ancestor ("concept") of a less favorable one, so that a sale at an
+// unfavorable code is evidence for every more favorable code of the same
+// item — the paper's "shopping on unavailability" behaviour.
+//
+// The compiled form is a Space: every generalized sale — a concept C, an
+// item I, or an item/promotion pair ⟨I,P⟩ — is interned to a dense GenID,
+// and the generalization relation, sale expansions and head sets are all
+// precomputed so the miner and the recommender operate on sorted integer
+// slices.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+
+	"profitmining/internal/model"
+)
+
+// GenID identifies a generalized sale (a node of MOA(H)) within a Space.
+// IDs are dense, starting at 0 (the root ANY).
+type GenID int32
+
+// Kind classifies the nodes of MOA(H).
+type Kind uint8
+
+const (
+	// KindRoot is the single root concept ANY.
+	KindRoot Kind = iota
+	// KindConcept is a named category (internal node of H).
+	KindConcept
+	// KindItem is an item node (leaf of H, root of the item's promo lattice).
+	KindItem
+	// KindItemPromo is a generalized sale ⟨I, P⟩.
+	KindItemPromo
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRoot:
+		return "root"
+	case KindConcept:
+		return "concept"
+	case KindItem:
+		return "item"
+	case KindItemPromo:
+		return "item-promo"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Builder assembles a concept hierarchy H over a catalog. The zero Builder
+// is not usable; call NewBuilder.
+//
+// Concepts must be registered before they are referenced as parents, which
+// guarantees acyclicity by construction. Items not explicitly placed are
+// children of the root; target items are always children of the root
+// (Section 2: "target items are (immediate) children of the root ANY"),
+// and placing one under a concept is an error at Compile time.
+type Builder struct {
+	catalog      *model.Catalog
+	conceptNames []string
+	conceptIdx   map[string]int
+	conceptPar   [][]int                // parent concept indexes; empty = child of root
+	itemPar      map[model.ItemID][]int // item → parent concept indexes
+}
+
+// NewBuilder returns a Builder for the given catalog.
+func NewBuilder(catalog *model.Catalog) *Builder {
+	return &Builder{
+		catalog:    catalog,
+		conceptIdx: make(map[string]int),
+		itemPar:    make(map[model.ItemID][]int),
+	}
+}
+
+// AddConcept registers a concept under the given parent concepts. With no
+// parents the concept is a child of the root. All parents must have been
+// registered already; AddConcept panics otherwise (hierarchies are built
+// from trusted construction code).
+func (b *Builder) AddConcept(name string, parents ...string) {
+	if name == "" || name == "ANY" {
+		panic(fmt.Sprintf("hierarchy: invalid concept name %q", name))
+	}
+	if _, dup := b.conceptIdx[name]; dup {
+		panic(fmt.Sprintf("hierarchy: duplicate concept %q", name))
+	}
+	idx := len(b.conceptNames)
+	b.conceptNames = append(b.conceptNames, name)
+	b.conceptIdx[name] = idx
+	b.conceptPar = append(b.conceptPar, b.resolve(parents))
+}
+
+// PlaceItem places an item under the given parent concepts. Calling
+// PlaceItem again for the same item replaces the previous placement.
+func (b *Builder) PlaceItem(item model.ItemID, parents ...string) {
+	b.itemPar[item] = b.resolve(parents)
+}
+
+func (b *Builder) resolve(parents []string) []int {
+	var out []int
+	for _, p := range parents {
+		idx, ok := b.conceptIdx[p]
+		if !ok {
+			panic(fmt.Sprintf("hierarchy: unknown parent concept %q", p))
+		}
+		out = append(out, idx)
+	}
+	return out
+}
+
+// Options configures compilation of a hierarchy into a Space.
+type Options struct {
+	// MOA enables the MOA(H) extension: favorability ancestors between
+	// promotion codes of the same item. Without MOA, a generalized sale
+	// ⟨I,P⟩ only generalizes sales under exactly P.
+	MOA bool
+}
+
+// Flat compiles the trivial hierarchy (all items children of ANY) over the
+// catalog. This is the hierarchy of the paper's synthetic experiments.
+func Flat(catalog *model.Catalog, opts Options) *Space {
+	s, err := NewBuilder(catalog).Compile(opts)
+	if err != nil {
+		// Unreachable: a flat hierarchy over a catalog cannot be invalid.
+		panic(err)
+	}
+	return s
+}
+
+// Compile validates the hierarchy and interns MOA(H) into a Space.
+func (b *Builder) Compile(opts Options) (*Space, error) {
+	cat := b.catalog
+	if cat == nil || cat.NumItems() == 0 {
+		return nil, fmt.Errorf("hierarchy: empty catalog")
+	}
+	for id, parents := range b.itemPar {
+		it := cat.Item(id)
+		if it.Target && len(parents) > 0 {
+			return nil, fmt.Errorf("hierarchy: target item %q must be a child of the root", it.Name)
+		}
+	}
+
+	s := &Space{catalog: cat, opts: opts}
+
+	// Node layout: root, then concepts in insertion order, then item nodes
+	// in item-ID order, then ⟨I,P⟩ nodes in promo-ID order. This makes
+	// GenIDs deterministic for a given construction sequence.
+	n := 1 + len(b.conceptNames) + cat.NumItems() + cat.NumPromos()
+	s.kind = make([]Kind, 0, n)
+	s.name = make([]string, 0, n)
+	s.item = make([]model.ItemID, 0, n)
+	s.promo = make([]model.PromoID, 0, n)
+	s.ancestors = make([][]GenID, 0, n)
+
+	add := func(k Kind, name string, item model.ItemID, promo model.PromoID, anc []GenID) GenID {
+		id := GenID(len(s.kind))
+		s.kind = append(s.kind, k)
+		s.name = append(s.name, name)
+		s.item = append(s.item, item)
+		s.promo = append(s.promo, promo)
+		sort.Slice(anc, func(i, j int) bool { return anc[i] < anc[j] })
+		s.ancestors = append(s.ancestors, anc)
+		return id
+	}
+
+	root := add(KindRoot, "ANY", 0, 0, nil)
+
+	// Concepts: strict ancestors = union of parents' ancestors + parents.
+	conceptID := make([]GenID, len(b.conceptNames))
+	for i, name := range b.conceptNames {
+		anc := map[GenID]bool{root: true}
+		for _, p := range b.conceptPar[i] {
+			pid := conceptID[p]
+			anc[pid] = true
+			for _, a := range s.ancestors[pid] {
+				anc[a] = true
+			}
+		}
+		conceptID[i] = add(KindConcept, name, 0, 0, keys(anc))
+	}
+
+	// Item nodes.
+	s.itemNode = make([]GenID, cat.NumItems()+1)
+	for _, it := range cat.Items() {
+		anc := map[GenID]bool{root: true}
+		for _, p := range b.itemPar[it.ID] {
+			pid := conceptID[p]
+			anc[pid] = true
+			for _, a := range s.ancestors[pid] {
+				anc[a] = true
+			}
+		}
+		s.itemNode[it.ID] = add(KindItem, it.Name, it.ID, 0, keys(anc))
+	}
+
+	// ⟨I,P⟩ nodes. Under MOA the strict ancestors within the lattice are
+	// the strictly more favorable codes of the same item.
+	s.promoNode = make([]GenID, cat.NumPromos()+1)
+	for _, it := range cat.Items() {
+		for _, pid := range cat.Promos(it.ID) {
+			in := s.itemNode[it.ID]
+			anc := map[GenID]bool{in: true}
+			for _, a := range s.ancestors[in] {
+				anc[a] = true
+			}
+			s.promoNode[pid] = add(KindItemPromo,
+				fmt.Sprintf("⟨%s,%s⟩", it.Name, promoLabel(cat.Promo(pid))),
+				it.ID, pid, keys(anc))
+		}
+	}
+	if opts.MOA {
+		for _, it := range cat.Items() {
+			promos := cat.Promos(it.ID)
+			for _, pid := range promos {
+				node := s.promoNode[pid]
+				anc := map[GenID]bool{}
+				for _, a := range s.ancestors[node] {
+					anc[a] = true
+				}
+				p := cat.Promo(pid)
+				for _, qid := range promos {
+					if qid != pid && model.MoreFavorable(cat.Promo(qid), p) {
+						anc[s.promoNode[qid]] = true
+					}
+				}
+				s.ancestors[node] = sorted(keys(anc))
+			}
+		}
+	}
+
+	s.buildExpansions()
+	return s, nil
+}
+
+func promoLabel(p model.PromoCode) string {
+	if p.Packing == 1 {
+		return fmt.Sprintf("$%.4g", p.Price)
+	}
+	return fmt.Sprintf("$%.4g/%.4g-pack", p.Price, p.Packing)
+}
+
+func keys(m map[GenID]bool) []GenID {
+	out := make([]GenID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func sorted(ids []GenID) []GenID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

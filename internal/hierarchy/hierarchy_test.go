@@ -1,0 +1,475 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"profitmining/internal/model"
+)
+
+// example2 builds the paper's Example 2: non-target item Flaked_Chicken
+// (FC) under Chicken ⊂ Meat ⊂ Food ⊂ ANY with promotion codes $3, $3.5,
+// $3.8, and target item Sunchip with promotion codes $3.8, $4.5, $5.
+type example2 struct {
+	cat                *model.Catalog
+	fc, sun            model.ItemID
+	fc3, fc35, fc38    model.PromoID
+	sun38, sun45, sun5 model.PromoID
+	builder            *Builder
+}
+
+func buildExample2(t *testing.T) *example2 {
+	t.Helper()
+	e := &example2{cat: model.NewCatalog()}
+	e.fc = e.cat.AddItem("FC", false)
+	e.fc3 = e.cat.AddPromo(e.fc, 3.0, 1.0, 1)
+	e.fc35 = e.cat.AddPromo(e.fc, 3.5, 1.0, 1)
+	e.fc38 = e.cat.AddPromo(e.fc, 3.8, 1.0, 1)
+	e.sun = e.cat.AddItem("Sunchip", true)
+	e.sun38 = e.cat.AddPromo(e.sun, 3.8, 2.0, 1)
+	e.sun45 = e.cat.AddPromo(e.sun, 4.5, 2.0, 1)
+	e.sun5 = e.cat.AddPromo(e.sun, 5.0, 2.0, 1)
+
+	b := NewBuilder(e.cat)
+	b.AddConcept("Food")
+	b.AddConcept("Meat", "Food")
+	b.AddConcept("Chicken", "Meat")
+	b.PlaceItem(e.fc, "Chicken")
+	e.builder = b
+	return e
+}
+
+func compile(t *testing.T, b *Builder, opts Options) *Space {
+	t.Helper()
+	s, err := b.Compile(opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return s
+}
+
+func names(s *Space, ids []GenID) []string {
+	out := make([]string, len(ids))
+	for i, g := range ids {
+		out[i] = s.Name(g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExample2MOAExpansion(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: true})
+
+	// ⟨FC,$3.8⟩ and its ancestors are generalized sales of sales at $3.8:
+	// the $3.8, $3.5 and $3 nodes, FC, Chicken, Meat, Food (root excluded).
+	got := names(s, s.ExpandSale(model.Sale{Item: e.fc, Promo: e.fc38, Qty: 1}))
+	want := []string{"Chicken", "FC", "Food", "Meat", "⟨FC,$3.5⟩", "⟨FC,$3.8⟩", "⟨FC,$3⟩"}
+	if !equalStrings(got, want) {
+		t.Errorf("ExpandSale($3.8) = %v, want %v", got, want)
+	}
+
+	// A sale at $3.5 generalizes to $3.5 and $3 but not $3.8.
+	got = names(s, s.ExpandSale(model.Sale{Item: e.fc, Promo: e.fc35, Qty: 1}))
+	want = []string{"Chicken", "FC", "Food", "Meat", "⟨FC,$3.5⟩", "⟨FC,$3⟩"}
+	if !equalStrings(got, want) {
+		t.Errorf("ExpandSale($3.5) = %v, want %v", got, want)
+	}
+
+	// A sale at $3 generalizes only to $3.
+	got = names(s, s.ExpandSale(model.Sale{Item: e.fc, Promo: e.fc3, Qty: 1}))
+	want = []string{"Chicken", "FC", "Food", "Meat", "⟨FC,$3⟩"}
+	if !equalStrings(got, want) {
+		t.Errorf("ExpandSale($3) = %v, want %v", got, want)
+	}
+}
+
+func TestExample2Heads(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: true})
+
+	// A target sale at $5 is hit by recommending $5, $4.5 or $3.8.
+	got := names(s, s.HeadsOf(model.Sale{Item: e.sun, Promo: e.sun5, Qty: 1}))
+	want := []string{"⟨Sunchip,$3.8⟩", "⟨Sunchip,$4.5⟩", "⟨Sunchip,$5⟩"}
+	if !equalStrings(got, want) {
+		t.Errorf("HeadsOf($5) = %v, want %v", got, want)
+	}
+	// At $3.8 only the exact code hits.
+	got = names(s, s.HeadsOf(model.Sale{Item: e.sun, Promo: e.sun38, Qty: 1}))
+	want = []string{"⟨Sunchip,$3.8⟩"}
+	if !equalStrings(got, want) {
+		t.Errorf("HeadsOf($3.8) = %v, want %v", got, want)
+	}
+
+	if got := len(s.AllHeads()); got != 3 {
+		t.Errorf("AllHeads = %d nodes, want 3 (Sunchip promos)", got)
+	}
+	for _, h := range s.AllHeads() {
+		if s.Kind(h) != KindItemPromo || s.ItemOf(h) != e.sun {
+			t.Errorf("AllHeads contains %s", s.Name(h))
+		}
+	}
+}
+
+func TestHeadGeneralizes(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: true})
+	sale := model.Sale{Item: e.sun, Promo: e.sun45, Qty: 2}
+	if !s.HeadGeneralizes(s.PromoNode(e.sun45), sale) {
+		t.Error("exact head must generalize")
+	}
+	if !s.HeadGeneralizes(s.PromoNode(e.sun38), sale) {
+		t.Error("more favorable head must generalize under MOA")
+	}
+	if s.HeadGeneralizes(s.PromoNode(e.sun5), sale) {
+		t.Error("less favorable head must not generalize")
+	}
+}
+
+func TestNoMOAExactPromoOnly(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: false})
+
+	got := names(s, s.ExpandSale(model.Sale{Item: e.fc, Promo: e.fc38, Qty: 1}))
+	want := []string{"Chicken", "FC", "Food", "Meat", "⟨FC,$3.8⟩"}
+	if !equalStrings(got, want) {
+		t.Errorf("ExpandSale($3.8, no MOA) = %v, want %v", got, want)
+	}
+	heads := names(s, s.HeadsOf(model.Sale{Item: e.sun, Promo: e.sun5, Qty: 1}))
+	if !equalStrings(heads, []string{"⟨Sunchip,$5⟩"}) {
+		t.Errorf("HeadsOf($5, no MOA) = %v", heads)
+	}
+}
+
+func TestBodyCandidatesExcludeTargetsAndRoot(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: true})
+	for _, g := range s.BodyCandidates() {
+		if s.Kind(g) == KindRoot {
+			t.Error("BodyCandidates contains the root")
+		}
+		if s.ItemOf(g) == e.sun {
+			t.Errorf("BodyCandidates contains target node %s", s.Name(g))
+		}
+	}
+	// Food, Meat, Chicken, FC, 3 FC promos = 7 candidates.
+	if got := len(s.BodyCandidates()); got != 7 {
+		t.Errorf("BodyCandidates = %d nodes, want 7", got)
+	}
+}
+
+func TestGeneralizesOrEqual(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: true})
+
+	food, _ := conceptByName(s, "Food")
+	chicken, _ := conceptByName(s, "Chicken")
+	fcNode := s.ItemNode(e.fc)
+	fc3 := s.PromoNode(e.fc3)
+	fc38 := s.PromoNode(e.fc38)
+
+	cases := []struct {
+		a, b GenID
+		want bool
+	}{
+		{s.Root(), fc38, true},
+		{food, fc38, true},
+		{chicken, fcNode, true},
+		{fcNode, fc3, true},
+		{fc3, fc38, true},  // more favorable price generalizes less favorable
+		{fc38, fc3, false}, // not vice versa
+		{fc38, fc38, true}, // reflexive
+		{fcNode, chicken, false},
+		{fc3, s.PromoNode(e.sun38), false}, // cross-item
+	}
+	for _, tc := range cases {
+		if got := s.GeneralizesOrEqual(tc.a, tc.b); got != tc.want {
+			t.Errorf("GeneralizesOrEqual(%s, %s) = %v, want %v", s.Name(tc.a), s.Name(tc.b), got, tc.want)
+		}
+	}
+}
+
+func conceptByName(s *Space, name string) (GenID, bool) {
+	for g := 0; g < s.NumNodes(); g++ {
+		if s.Name(GenID(g)) == name {
+			return GenID(g), true
+		}
+	}
+	return 0, false
+}
+
+func TestGeneralizationIsTransitiveAndAntisymmetric(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: true})
+	n := s.NumNodes()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			ga, gb := GenID(a), GenID(b)
+			if a != b && s.GeneralizesOrEqual(ga, gb) && s.GeneralizesOrEqual(gb, ga) {
+				t.Errorf("antisymmetry violated: %s ↔ %s", s.Name(ga), s.Name(gb))
+			}
+			for c := 0; c < n; c++ {
+				gc := GenID(c)
+				if s.GeneralizesOrEqual(ga, gb) && s.GeneralizesOrEqual(gb, gc) && !s.GeneralizesOrEqual(ga, gc) {
+					t.Errorf("transitivity violated: %s ⊒ %s ⊒ %s", s.Name(ga), s.Name(gb), s.Name(gc))
+				}
+			}
+		}
+	}
+}
+
+func TestAncestorsSortedAndConsistent(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: true})
+	for g := 0; g < s.NumNodes(); g++ {
+		anc := s.Ancestors(GenID(g))
+		if !sort.SliceIsSorted(anc, func(i, j int) bool { return anc[i] < anc[j] }) {
+			t.Errorf("Ancestors(%s) not sorted", s.Name(GenID(g)))
+		}
+		for _, a := range anc {
+			if a == GenID(g) {
+				t.Errorf("node %s is its own strict ancestor", s.Name(GenID(g)))
+			}
+			if !s.GeneralizesOrEqual(a, GenID(g)) {
+				t.Errorf("ancestor %s does not generalize %s", s.Name(a), s.Name(GenID(g)))
+			}
+		}
+	}
+}
+
+func TestDAGMultipleParents(t *testing.T) {
+	cat := model.NewCatalog()
+	it := cat.AddItem("Tomato", false)
+	cat.AddPromo(it, 1, 0.5, 1)
+	tgt := cat.AddItem("Basil", true)
+	cat.AddPromo(tgt, 2, 1, 1)
+
+	b := NewBuilder(cat)
+	b.AddConcept("Fruit")
+	b.AddConcept("Vegetable")
+	b.AddConcept("Salad", "Fruit", "Vegetable")
+	b.PlaceItem(it, "Salad")
+	s := compile(t, b, Options{MOA: true})
+
+	fruit, _ := conceptByName(s, "Fruit")
+	veg, _ := conceptByName(s, "Vegetable")
+	tom := s.ItemNode(it)
+	if !s.GeneralizesOrEqual(fruit, tom) || !s.GeneralizesOrEqual(veg, tom) {
+		t.Error("DAG item must be generalized by all parent lineages")
+	}
+	if s.Comparable(fruit, veg) {
+		t.Error("sibling concepts must be incomparable")
+	}
+}
+
+func TestTargetUnderConceptRejected(t *testing.T) {
+	cat := model.NewCatalog()
+	tgt := cat.AddItem("TV", true)
+	cat.AddPromo(tgt, 100, 50, 1)
+	b := NewBuilder(cat)
+	b.AddConcept("Appliance")
+	b.PlaceItem(tgt, "Appliance")
+	if _, err := b.Compile(Options{}); err == nil {
+		t.Error("placing a target item under a concept must fail")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cat := model.NewCatalog()
+	cat.AddItem("A", false)
+	b := NewBuilder(cat)
+
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"empty concept name", func() { b.AddConcept("") }},
+		{"ANY as concept", func() { b.AddConcept("ANY") }},
+		{"unknown parent", func() { b.AddConcept("X", "Nope") }},
+		{"duplicate concept", func() { b.AddConcept("C"); b.AddConcept("C") }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+func TestCompileEmptyCatalog(t *testing.T) {
+	if _, err := NewBuilder(model.NewCatalog()).Compile(Options{}); err == nil {
+		t.Error("empty catalog must fail to compile")
+	}
+}
+
+func TestExpandBasket(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: true})
+
+	basket := []model.Sale{
+		{Item: e.fc, Promo: e.fc38, Qty: 1},
+		{Item: e.fc, Promo: e.fc35, Qty: 2},
+	}
+	exp := s.ExpandBasket(basket)
+	if !sort.SliceIsSorted(exp, func(i, j int) bool { return exp[i] < exp[j] }) {
+		t.Error("ExpandBasket not sorted")
+	}
+	for i := 1; i < len(exp); i++ {
+		if exp[i] == exp[i-1] {
+			t.Error("ExpandBasket contains duplicates")
+		}
+	}
+	// Union of the two expansions: the $3.8 sale contributes the $3.8 node,
+	// everything else is shared. 7 + 1 = wait: expansion($3.8) has 7 nodes,
+	// expansion($3.5) has 6, union = 7.
+	if len(exp) != 7 {
+		t.Errorf("ExpandBasket = %d nodes, want 7", len(exp))
+	}
+	if len(s.ExpandBasket(nil)) != 0 {
+		t.Error("ExpandBasket(nil) should be empty")
+	}
+}
+
+func TestBodyMatchesAgainstNaive(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: true})
+	rng := rand.New(rand.NewSource(7))
+
+	promos := []model.PromoID{e.fc3, e.fc35, e.fc38}
+	cands := s.BodyCandidates()
+	for trial := 0; trial < 500; trial++ {
+		var basket []model.Sale
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			basket = append(basket, model.Sale{Item: e.fc, Promo: promos[rng.Intn(len(promos))], Qty: 1})
+		}
+		exp := s.ExpandBasket(basket)
+
+		bodyLen := rng.Intn(3)
+		seen := map[GenID]bool{}
+		body := make([]GenID, 0, bodyLen)
+		for i := 0; i < bodyLen; i++ {
+			g := cands[rng.Intn(len(cands))]
+			if !seen[g] {
+				seen[g] = true
+				body = append(body, g)
+			}
+		}
+		sort.Slice(body, func(i, j int) bool { return body[i] < body[j] })
+
+		// Naive semantics (Definition 3): every body element generalizes
+		// some sale of the basket.
+		naive := true
+		for _, g := range body {
+			ok := false
+			for _, sl := range basket {
+				for _, h := range s.ExpandSale(sl) {
+					if g == h {
+						ok = true
+					}
+				}
+			}
+			if !ok {
+				naive = false
+				break
+			}
+		}
+		if got := s.BodyMatches(body, exp); got != naive {
+			t.Fatalf("BodyMatches(%v) = %v, naive = %v", names(s, body), got, naive)
+		}
+	}
+}
+
+func TestIsAntichain(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: true})
+	chicken, _ := conceptByName(s, "Chicken")
+	meat, _ := conceptByName(s, "Meat")
+
+	if !s.IsAntichain(nil) {
+		t.Error("empty set is an antichain")
+	}
+	if !s.IsAntichain([]GenID{chicken}) {
+		t.Error("singleton is an antichain")
+	}
+	if s.IsAntichain([]GenID{chicken, meat}) {
+		t.Error("Chicken/Meat are comparable")
+	}
+	if s.IsAntichain([]GenID{s.PromoNode(e.fc3), s.PromoNode(e.fc38)}) {
+		t.Error("MOA promo levels of one item are comparable")
+	}
+	if !s.IsAntichain([]GenID{s.PromoNode(e.fc3), s.PromoNode(e.sun38)}) {
+		t.Error("promos of different items are incomparable")
+	}
+}
+
+func TestSetGeneralizes(t *testing.T) {
+	e := buildExample2(t)
+	s := compile(t, e.builder, Options{MOA: true})
+	meat, _ := conceptByName(s, "Meat")
+	fc35 := s.PromoNode(e.fc35)
+	fc38 := s.PromoNode(e.fc38)
+
+	if !s.SetGeneralizes(nil, []GenID{fc38}) {
+		t.Error("empty set generalizes everything")
+	}
+	if !s.SetGeneralizes([]GenID{meat}, []GenID{fc38}) {
+		t.Error("{Meat} should generalize {⟨FC,$3.8⟩}")
+	}
+	if !s.SetGeneralizes([]GenID{fc35}, []GenID{fc38}) {
+		t.Error("{⟨FC,$3.5⟩} should generalize {⟨FC,$3.8⟩} under MOA")
+	}
+	if s.SetGeneralizes([]GenID{fc38}, []GenID{fc35}) {
+		t.Error("{⟨FC,$3.8⟩} should not generalize {⟨FC,$3.5⟩}")
+	}
+	if s.SetGeneralizes([]GenID{meat, fc38}, []GenID{fc35}) {
+		t.Error("every element must generalize some element")
+	}
+}
+
+func TestFlat(t *testing.T) {
+	cat := model.NewCatalog()
+	a := cat.AddItem("A", false)
+	cat.AddPromo(a, 1, 0.5, 1)
+	tgt := cat.AddItem("T", true)
+	cat.AddPromo(tgt, 5, 2, 1)
+	s := Flat(cat, Options{MOA: true})
+	// Root + 2 items + 2 promo nodes.
+	if s.NumNodes() != 5 {
+		t.Errorf("flat space has %d nodes, want 5", s.NumNodes())
+	}
+	if !s.GeneralizesOrEqual(s.Root(), s.ItemNode(a)) {
+		t.Error("root must generalize items in a flat hierarchy")
+	}
+}
+
+func TestDeterministicGenIDs(t *testing.T) {
+	build := func() *Space {
+		e := buildExample2(t)
+		return compile(t, e.builder, Options{MOA: true})
+	}
+	s1, s2 := build(), build()
+	if s1.NumNodes() != s2.NumNodes() {
+		t.Fatal("node counts differ across identical builds")
+	}
+	for g := 0; g < s1.NumNodes(); g++ {
+		if s1.Name(GenID(g)) != s2.Name(GenID(g)) {
+			t.Fatalf("node %d differs: %q vs %q", g, s1.Name(GenID(g)), s2.Name(GenID(g)))
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"profitmining/internal/model"
+)
+
+// randomSpace builds a random catalog and concept DAG: nc concepts with
+// random parents among earlier concepts, ni non-target items placed under
+// random concepts (or the root), each with 1–3 promos on a price ladder,
+// plus one target item.
+func randomSpace(t *testing.T, rng *rand.Rand, moa bool) (*Space, *model.Catalog) {
+	t.Helper()
+	cat := model.NewCatalog()
+	nc := 2 + rng.Intn(6)
+	ni := 2 + rng.Intn(6)
+
+	b := NewBuilder(cat)
+	names := make([]string, nc)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%02d", i)
+		var parents []string
+		for j := 0; j < i; j++ {
+			if rng.Float64() < 0.3 {
+				parents = append(parents, names[j])
+			}
+		}
+		b.AddConcept(names[i], parents...)
+	}
+	for i := 0; i < ni; i++ {
+		item := cat.AddItem(fmt.Sprintf("i%02d", i), false)
+		for p := 0; p <= rng.Intn(3); p++ {
+			cat.AddPromo(item, float64(p+1), 0.5, 1)
+		}
+		if rng.Float64() < 0.8 {
+			var parents []string
+			for _, n := range names {
+				if rng.Float64() < 0.3 {
+					parents = append(parents, n)
+				}
+			}
+			b.PlaceItem(item, parents...)
+		}
+	}
+	tgt := cat.AddItem("target", true)
+	cat.AddPromo(tgt, 10, 5, 1)
+
+	s, err := b.Compile(Options{MOA: moa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cat
+}
+
+// naiveReach computes "a generalizes-or-equals b" by walking ancestor
+// lists transitively — the reference for GeneralizesOrEqual.
+func naiveReach(s *Space, a, b GenID) bool {
+	if a == b {
+		return true
+	}
+	seen := map[GenID]bool{}
+	var walk func(GenID) bool
+	walk = func(n GenID) bool {
+		if n == a {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, p := range s.Ancestors(n) {
+			if walk(p) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(b)
+}
+
+func TestRandomDAGGeneralization(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		s, _ := randomSpace(t, rng, trial%2 == 0)
+		n := s.NumNodes()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				ga, gb := GenID(a), GenID(b)
+				got := s.GeneralizesOrEqual(ga, gb)
+				want := naiveReach(s, ga, gb)
+				if got != want {
+					t.Fatalf("trial %d: GeneralizesOrEqual(%s, %s) = %v, reachability = %v",
+						trial, s.Name(ga), s.Name(gb), got, want)
+				}
+			}
+		}
+		// The root generalizes every node.
+		for g := 0; g < n; g++ {
+			if !s.GeneralizesOrEqual(s.Root(), GenID(g)) {
+				t.Fatalf("trial %d: root does not generalize %s", trial, s.Name(GenID(g)))
+			}
+		}
+	}
+}
+
+func TestRandomDAGExpansionConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 40; trial++ {
+		s, cat := randomSpace(t, rng, true)
+		for _, it := range cat.Items() {
+			if it.Target {
+				continue
+			}
+			for _, pid := range cat.Promos(it.ID) {
+				sale := model.Sale{Item: it.ID, Promo: pid, Qty: 1}
+				exp := s.ExpandSale(sale)
+				// Exactly the non-root generalizers of the promo node.
+				node := s.PromoNode(pid)
+				want := map[GenID]bool{node: true}
+				for _, a := range s.Ancestors(node) {
+					if s.Kind(a) != KindRoot {
+						want[a] = true
+					}
+				}
+				if len(exp) != len(want) {
+					t.Fatalf("trial %d: expansion size %d, want %d", trial, len(exp), len(want))
+				}
+				for _, g := range exp {
+					if !want[g] {
+						t.Fatalf("trial %d: expansion contains %s unexpectedly", trial, s.Name(g))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRandomDAGAntichainSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 30; trial++ {
+		s, _ := randomSpace(t, rng, true)
+		n := s.NumNodes()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if s.Comparable(GenID(a), GenID(b)) != s.Comparable(GenID(b), GenID(a)) {
+					t.Fatalf("trial %d: Comparable not symmetric", trial)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package hierarchy
+
+import (
+	"sort"
+
+	"profitmining/internal/model"
+)
+
+// Space is the compiled, immutable form of MOA(H): an interned universe of
+// generalized sales with precomputed generalization, expansion and head
+// relations. A Space is safe for concurrent use.
+type Space struct {
+	catalog *model.Catalog
+	opts    Options
+
+	kind  []Kind
+	name  []string
+	item  []model.ItemID  // valid for KindItem / KindItemPromo
+	promo []model.PromoID // valid for KindItemPromo
+
+	// ancestors[g] lists the strict ancestors of g (nodes that generalize
+	// g), sorted ascending. The root is an ancestor of every other node.
+	ancestors [][]GenID
+
+	itemNode  []GenID // by ItemID
+	promoNode []GenID // by PromoID
+
+	// saleExpansion[promoID] lists every generalized sale of a sale under
+	// that promotion code, sorted ascending, excluding the root (ANY
+	// carries no information: it generalizes everything).
+	saleExpansion [][]GenID
+
+	// headsOf[promoID], for promos of target items, lists every head
+	// ⟨I,P⟩ that generalizes a target sale under that promo (P ⪯ promo),
+	// sorted ascending.
+	headsOf [][]GenID
+
+	allHeads       []GenID
+	bodyCandidates []GenID
+}
+
+func (s *Space) buildExpansions() {
+	cat := s.catalog
+	s.saleExpansion = make([][]GenID, cat.NumPromos()+1)
+	s.headsOf = make([][]GenID, cat.NumPromos()+1)
+
+	for _, it := range cat.Items() {
+		for _, pid := range cat.Promos(it.ID) {
+			node := s.promoNode[pid]
+			exp := make([]GenID, 0, len(s.ancestors[node])+1)
+			exp = append(exp, node)
+			for _, a := range s.ancestors[node] {
+				if s.kind[a] != KindRoot {
+					exp = append(exp, a)
+				}
+			}
+			s.saleExpansion[pid] = sorted(exp)
+
+			if it.Target {
+				var heads []GenID
+				for _, g := range s.saleExpansion[pid] {
+					if s.kind[g] == KindItemPromo {
+						heads = append(heads, g)
+					}
+				}
+				s.headsOf[pid] = heads // already sorted: subsequence of a sorted slice
+			}
+		}
+	}
+
+	for g := range s.kind {
+		id := GenID(g)
+		switch s.kind[g] {
+		case KindItemPromo:
+			if cat.Item(s.item[g]).Target {
+				s.allHeads = append(s.allHeads, id)
+			} else {
+				s.bodyCandidates = append(s.bodyCandidates, id)
+			}
+		case KindItem:
+			if !cat.Item(s.item[g]).Target {
+				s.bodyCandidates = append(s.bodyCandidates, id)
+			}
+		case KindConcept:
+			s.bodyCandidates = append(s.bodyCandidates, id)
+		}
+	}
+}
+
+// Catalog returns the catalog the space was compiled over.
+func (s *Space) Catalog() *model.Catalog { return s.catalog }
+
+// MOA reports whether the space was compiled with the MOA extension.
+func (s *Space) MOA() bool { return s.opts.MOA }
+
+// NumNodes returns the number of generalized sales, including the root.
+func (s *Space) NumNodes() int { return len(s.kind) }
+
+// Root returns the GenID of ANY.
+func (s *Space) Root() GenID { return 0 }
+
+// Kind returns the kind of g.
+func (s *Space) Kind(g GenID) Kind { return s.kind[g] }
+
+// Name returns a human-readable label for g, e.g. "Meat" or "⟨Egg,$3.5⟩".
+func (s *Space) Name(g GenID) string { return s.name[g] }
+
+// ItemOf returns the item of an item or item-promo node (0 otherwise).
+func (s *Space) ItemOf(g GenID) model.ItemID { return s.item[g] }
+
+// PromoOf returns the promotion code of an item-promo node (0 otherwise).
+func (s *Space) PromoOf(g GenID) model.PromoID { return s.promo[g] }
+
+// ItemNode returns the GenID of the item node for item.
+func (s *Space) ItemNode(item model.ItemID) GenID { return s.itemNode[item] }
+
+// PromoNode returns the GenID of the ⟨item, promo⟩ node for promo.
+func (s *Space) PromoNode(promo model.PromoID) GenID { return s.promoNode[promo] }
+
+// Ancestors returns the strict ancestors of g (every node that properly
+// generalizes g), sorted ascending. The returned slice must not be
+// modified.
+func (s *Space) Ancestors(g GenID) []GenID { return s.ancestors[g] }
+
+// GeneralizesOrEqual reports whether a = b or a is an ancestor of b, i.e.
+// a is a generalized sale of b in the reflexive closure of Definition 3.
+func (s *Space) GeneralizesOrEqual(a, b GenID) bool {
+	if a == b {
+		return true
+	}
+	anc := s.ancestors[b]
+	i := sort.Search(len(anc), func(i int) bool { return anc[i] >= a })
+	return i < len(anc) && anc[i] == a
+}
+
+// Comparable reports whether one of a, b generalizes the other (including
+// equality). Rule bodies must be antichains: no two comparable elements
+// (Definition 4).
+func (s *Space) Comparable(a, b GenID) bool {
+	return s.GeneralizesOrEqual(a, b) || s.GeneralizesOrEqual(b, a)
+}
+
+// ExpandSale returns every generalized sale of the given sale, sorted
+// ascending and excluding the root. The returned slice must not be
+// modified.
+func (s *Space) ExpandSale(sale model.Sale) []GenID {
+	return s.saleExpansion[sale.Promo]
+}
+
+// ExpandBasket returns the sorted, deduplicated union of the expansions of
+// the given sales — the set of all generalized sales the basket supports.
+func (s *Space) ExpandBasket(sales []model.Sale) []GenID {
+	switch len(sales) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]GenID, len(s.saleExpansion[sales[0].Promo]))
+		copy(out, s.saleExpansion[sales[0].Promo])
+		return out
+	}
+	var total int
+	for _, sl := range sales {
+		total += len(s.saleExpansion[sl.Promo])
+	}
+	out := make([]GenID, 0, total)
+	for _, sl := range sales {
+		out = append(out, s.saleExpansion[sl.Promo]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Deduplicate in place.
+	w := 0
+	for i, g := range out {
+		if i == 0 || g != out[w-1] {
+			out[w] = g
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// HeadsOf returns every recommendation head ⟨I,P⟩ that generalizes the
+// given target sale: under MOA, all codes P ⪯ the sale's code; without
+// MOA, just the sale's own code. Sorted ascending; must not be modified.
+func (s *Space) HeadsOf(target model.Sale) []GenID {
+	return s.headsOf[target.Promo]
+}
+
+// HeadGeneralizes reports whether the head ⟨I,P⟩ generalizes the target
+// sale — the hit test for recommendations.
+func (s *Space) HeadGeneralizes(head GenID, target model.Sale) bool {
+	hs := s.headsOf[target.Promo]
+	i := sort.Search(len(hs), func(i int) bool { return hs[i] >= head })
+	return i < len(hs) && hs[i] == head
+}
+
+// AllHeads returns every possible recommendation head: the ⟨I,P⟩ nodes of
+// all target items, sorted ascending. Must not be modified.
+func (s *Space) AllHeads() []GenID { return s.allHeads }
+
+// BodyCandidates returns every generalized sale that may appear in a rule
+// body: concepts, non-target items, and non-target ⟨I,P⟩ nodes, excluding
+// the root. Sorted ascending; must not be modified.
+func (s *Space) BodyCandidates() []GenID { return s.bodyCandidates }
+
+// IsAntichain reports whether no two distinct elements of body are
+// comparable. body need not be sorted.
+func (s *Space) IsAntichain(body []GenID) bool {
+	for i := range body {
+		for j := i + 1; j < len(body); j++ {
+			if s.Comparable(body[i], body[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SetGeneralizes reports whether the set a generalizes the set b: every
+// element of a generalizes-or-equals some element of b (Definition 3
+// lifted to sets, reflexive closure). An empty a generalizes everything.
+func (s *Space) SetGeneralizes(a, b []GenID) bool {
+	for _, g := range a {
+		ok := false
+		for _, h := range b {
+			if s.GeneralizesOrEqual(g, h) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// BodyMatches reports whether a sorted rule body matches a sorted expanded
+// basket (as produced by ExpandBasket): body ⊆ expanded. This is
+// equivalent to SetGeneralizes(body, raw sales) because the expansion
+// already contains every generalized sale of the basket.
+func (s *Space) BodyMatches(body, expanded []GenID) bool {
+	i := 0
+	for _, g := range body {
+		for i < len(expanded) && expanded[i] < g {
+			i++
+		}
+		if i >= len(expanded) || expanded[i] != g {
+			return false
+		}
+		i++
+	}
+	return true
+}

@@ -1,0 +1,154 @@
+package mining
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+	"profitmining/internal/rules"
+)
+
+// hierFixture is a two-level concept hierarchy: Food ⊃ {Meat ⊃ {pork,
+// beef}, Dairy ⊃ {milk}} plus an unclassified item soap, and a target T
+// with two prices.
+type hierFixture struct {
+	cat                    *model.Catalog
+	pork, beef, milk, soap model.ItemID
+	pPork, pBeef           model.PromoID
+	pMilk1, pMilk2, pSoap  model.PromoID
+	t                      model.ItemID
+	t5, t6                 model.PromoID
+	space                  *hierarchy.Space
+}
+
+func newHierFixture(tb testing.TB, moa bool) *hierFixture {
+	tb.Helper()
+	f := &hierFixture{cat: model.NewCatalog()}
+	f.pork = f.cat.AddItem("pork", false)
+	f.pPork = f.cat.AddPromo(f.pork, 4, 2, 1)
+	f.beef = f.cat.AddItem("beef", false)
+	f.pBeef = f.cat.AddPromo(f.beef, 6, 3, 1)
+	f.milk = f.cat.AddItem("milk", false)
+	f.pMilk1 = f.cat.AddPromo(f.milk, 1, 0.5, 1)
+	f.pMilk2 = f.cat.AddPromo(f.milk, 1.5, 0.5, 1)
+	f.soap = f.cat.AddItem("soap", false)
+	f.pSoap = f.cat.AddPromo(f.soap, 2, 1, 1)
+	f.t = f.cat.AddItem("T", true)
+	f.t5 = f.cat.AddPromo(f.t, 5, 3, 1)
+	f.t6 = f.cat.AddPromo(f.t, 6, 3, 1)
+
+	b := hierarchy.NewBuilder(f.cat)
+	b.AddConcept("Food")
+	b.AddConcept("Meat", "Food")
+	b.AddConcept("Dairy", "Food")
+	b.PlaceItem(f.pork, "Meat")
+	b.PlaceItem(f.beef, "Meat")
+	b.PlaceItem(f.milk, "Dairy")
+	space, err := b.Compile(hierarchy.Options{MOA: moa})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	f.space = space
+	return f
+}
+
+func (f *hierFixture) txn(target model.PromoID, nonTarget ...model.PromoID) model.Transaction {
+	t := model.Transaction{Target: model.Sale{Item: f.t, Promo: target, Qty: 1}}
+	for _, p := range nonTarget {
+		t.NonTarget = append(t.NonTarget, model.Sale{Item: f.cat.Promo(p).Item, Promo: p, Qty: 1})
+	}
+	return t
+}
+
+func TestMineConceptRules(t *testing.T) {
+	f := newHierFixture(t, true)
+	// Meat buyers (pork or beef) buy T at $6; milk buyers at $5.
+	var txns []model.Transaction
+	for i := 0; i < 6; i++ {
+		p := f.pPork
+		if i%2 == 0 {
+			p = f.pBeef
+		}
+		txns = append(txns, f.txn(f.t6, p))
+		txns = append(txns, f.txn(f.t5, f.pMilk1))
+	}
+	res, err := Mine(f.space, txns, Options{MinSupportCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// {Meat} → ⟨T,$6⟩ is only expressible with the hierarchy: pork and
+	// beef alone have support 3 < 4.
+	var meatRule *rules.Rule
+	for _, r := range res.Rules {
+		if len(r.Body) == 1 && f.space.Name(r.Body[0]) == "Meat" && f.space.Name(r.Head) == "⟨T,$6⟩" {
+			meatRule = r
+		}
+		// pork/beef singleton bodies must have been pruned by support.
+		if len(r.Body) == 1 {
+			n := f.space.Name(r.Body[0])
+			if n == "pork" || n == "beef" {
+				t.Errorf("infrequent item rule %s survived", r.String(f.space))
+			}
+		}
+	}
+	if meatRule == nil {
+		t.Fatal("concept rule {Meat} → ⟨T,$6⟩ not mined")
+	}
+	if meatRule.BodyCount != 6 || meatRule.HitCount != 6 || math.Abs(meatRule.Profit-18) > 1e-9 {
+		t.Errorf("{Meat}→⟨T,$6⟩ = N%d hits%d prof%g, want 6/6/18", meatRule.BodyCount, meatRule.HitCount, meatRule.Profit)
+	}
+}
+
+// TestMineHierarchyAgainstNaive extends the miner/naive equivalence to a
+// space with concepts, multiple levels and MOA ladders.
+func TestMineHierarchyAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		moa := trial%2 == 0
+		f := newHierFixture(t, moa)
+		promos := []model.PromoID{f.pPork, f.pBeef, f.pMilk1, f.pMilk2, f.pSoap}
+		targets := []model.PromoID{f.t5, f.t6}
+
+		var txns []model.Transaction
+		n := 6 + rng.Intn(14)
+		for i := 0; i < n; i++ {
+			var nt []model.PromoID
+			for _, p := range promos {
+				if rng.Float64() < 0.35 {
+					nt = append(nt, p)
+				}
+			}
+			if len(nt) == 0 {
+				nt = append(nt, promos[rng.Intn(len(promos))])
+			}
+			txns = append(txns, f.txn(targets[rng.Intn(2)], nt...))
+		}
+		minCount := 1 + rng.Intn(3)
+
+		res, err := Mine(f.space, txns, Options{MinSupportCount: minCount, MaxBodyLen: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveMine(f.space, txns, minCount, 3, nil)
+
+		got := map[string]*rules.Rule{}
+		for _, r := range res.Rules {
+			got[rules.BodyKey(r.Body)+"|"+rules.BodyKey([]hierarchy.GenID{r.Head})] = r
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (moa=%v): %d rules, reference has %d", trial, moa, len(got), len(want))
+		}
+		for k, w := range want {
+			g, ok := got[k]
+			if !ok {
+				t.Fatalf("trial %d: missing rule %s", trial, w.String(f.space))
+			}
+			if g.BodyCount != w.BodyCount || g.HitCount != w.HitCount || math.Abs(g.Profit-w.Profit) > 1e-9 {
+				t.Fatalf("trial %d: rule %s measures differ", trial, w.String(f.space))
+			}
+		}
+	}
+}

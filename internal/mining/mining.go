@@ -1,0 +1,588 @@
+// Package mining implements the rule-generation step of profit mining
+// (Section 3.1): level-wise (Apriori-style) discovery of generalized
+// association rules {g1,…,gk} → ⟨I,P⟩ over MOA(H), following the
+// multi-level mining of [SA95, HF95] specialised to single-head rules
+// over target item/promotion pairs.
+//
+// Transactions are first expanded to their generalized sales (ancestors in
+// MOA(H)); rule bodies are antichains of generalized non-target sales and
+// are mined level-wise with support-based pruning. Because the number of
+// possible heads is small (target items × promotion codes), each candidate
+// body carries a dense per-head accumulator of hits and generated profit
+// p(r, t), so one counting pass per level yields every measure of
+// Definition 5: support, confidence, rule profit and recommendation
+// profit.
+package mining
+
+import (
+	"fmt"
+	"math"
+
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+	"profitmining/internal/rules"
+)
+
+// Options configures rule generation. The zero value is not valid: a
+// minimum support (or a minimum rule profit, Section 3.1) must be given.
+type Options struct {
+	// MinSupport is the minimum relative support of a rule (fraction of
+	// transactions matched by body and head), e.g. 0.001 for 0.1%.
+	// Ignored if MinSupportCount is set.
+	MinSupport float64
+	// MinSupportCount is the absolute form of MinSupport.
+	MinSupportCount int
+
+	// MinRuleProfit, when positive, requires Prof_ru(r) ≥ MinRuleProfit.
+	// If no minimum support is given it also drives search-space pruning,
+	// which is sound when all target items have non-negative profit
+	// (Section 3.1); Mine returns an error otherwise.
+	MinRuleProfit float64
+
+	// MinConfidence, when positive, requires Conf(r) ≥ MinConfidence —
+	// one of the optional worth thresholds of Definition 5. Unlike
+	// support it is not anti-monotone, so it filters emitted rules
+	// without pruning the search space.
+	MinConfidence float64
+
+	// MaxBodyLen bounds the number of generalized sales in a rule body
+	// (default 3).
+	MaxBodyLen int
+
+	// BinaryProfit replaces p(r,t) with 1 on a hit and 0 otherwise,
+	// turning profit-driven mining into confidence-driven mining — the
+	// CONF±MOA baselines of Section 5.1.
+	BinaryProfit bool
+
+	// Quantity estimates the purchase quantity at the recommended
+	// promotion code (default model.SavingMOA).
+	Quantity model.QuantityModel
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyLen == 0 {
+		o.MaxBodyLen = 3
+	}
+	if o.Quantity == nil {
+		o.Quantity = model.SavingMOA{}
+	}
+	return o
+}
+
+// Result is the outcome of rule generation.
+type Result struct {
+	// Rules are the generated rules in generation order, not including
+	// the default rule.
+	Rules []*rules.Rule
+	// Default is the default rule ∅ → g with the maximum recommendation
+	// profit (Section 3.1). Its Order is after all generated rules.
+	Default *rules.Rule
+
+	// NumTransactions is the number of training transactions.
+	NumTransactions int
+	// MinSupportCount is the resolved absolute support threshold (0 when
+	// mining is driven purely by MinRuleProfit).
+	MinSupportCount int
+	// FrequentBodies counts frequent bodies per level (index 0 = level 1).
+	FrequentBodies []int
+	// CandidateBodies counts candidate bodies per level.
+	CandidateBodies []int
+}
+
+// headStat accumulates per-head counts for one candidate body.
+type headStat struct {
+	hits   int32
+	profit float64
+}
+
+// txnData is a transaction pre-expanded for counting.
+type txnData struct {
+	items      []hierarchy.GenID // expanded non-target sales, sorted
+	heads      []int32           // indexes into Space.AllHeads() that hit this txn
+	headProfit []float64         // p(r,t) for each of heads
+}
+
+// Mine generates the rule set R of Section 3.1 from the training
+// transactions.
+func Mine(space *hierarchy.Space, txns []model.Transaction, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if len(txns) == 0 {
+		return nil, fmt.Errorf("mining: no transactions")
+	}
+	if opts.MinSupport < 0 || opts.MinSupport > 1 {
+		return nil, fmt.Errorf("mining: MinSupport %g outside [0,1]", opts.MinSupport)
+	}
+	if opts.MinSupportCount < 0 {
+		return nil, fmt.Errorf("mining: negative MinSupportCount %d", opts.MinSupportCount)
+	}
+	if opts.MaxBodyLen < 1 {
+		return nil, fmt.Errorf("mining: MaxBodyLen %d must be at least 1", opts.MaxBodyLen)
+	}
+	if opts.MinConfidence < 0 || opts.MinConfidence > 1 {
+		return nil, fmt.Errorf("mining: MinConfidence %g outside [0,1]", opts.MinConfidence)
+	}
+
+	minCount := opts.MinSupportCount
+	if minCount == 0 && opts.MinSupport > 0 {
+		minCount = int(math.Ceil(opts.MinSupport * float64(len(txns))))
+		if minCount < 1 {
+			minCount = 1
+		}
+	}
+	profitPruning := false
+	if minCount == 0 {
+		if opts.MinRuleProfit <= 0 {
+			return nil, fmt.Errorf("mining: either a minimum support or a minimum rule profit is required")
+		}
+		// Support-free pruning by rule profit is only anti-monotone when
+		// profits cannot be negative (Section 3.1).
+		cat := space.Catalog()
+		for _, h := range space.AllHeads() {
+			if cat.Promo(space.PromoOf(h)).Profit() < 0 {
+				return nil, fmt.Errorf("mining: profit-only pruning requires non-negative target profits (head %s has negative profit)", space.Name(h))
+			}
+		}
+		profitPruning = true
+	}
+
+	heads := space.AllHeads()
+	if len(heads) == 0 {
+		return nil, fmt.Errorf("mining: catalog has no target promotion codes")
+	}
+	headIdx := make(map[hierarchy.GenID]int32, len(heads))
+	for i, h := range heads {
+		headIdx[h] = int32(i)
+	}
+
+	m := &miner{
+		space:         space,
+		opts:          opts,
+		minCount:      minCount,
+		profitPruning: profitPruning,
+		heads:         heads,
+		headIdx:       headIdx,
+	}
+	m.prepare(txns)
+	return m.run()
+}
+
+type miner struct {
+	space         *hierarchy.Space
+	opts          Options
+	minCount      int
+	profitPruning bool
+
+	heads   []hierarchy.GenID
+	headIdx map[hierarchy.GenID]int32
+
+	txns      []txnData
+	numTxns   int
+	orderNext int
+
+	result Result
+}
+
+// prepare expands every transaction once: its generalized basket and its
+// per-head hit profits.
+func (m *miner) prepare(txns []model.Transaction) {
+	cat := m.space.Catalog()
+	m.txns = make([]txnData, len(txns))
+	m.numTxns = len(txns)
+	for i := range txns {
+		t := &txns[i]
+		td := &m.txns[i]
+		td.items = m.space.ExpandBasket(t.NonTarget)
+		hitHeads := m.space.HeadsOf(t.Target)
+		td.heads = make([]int32, len(hitHeads))
+		td.headProfit = make([]float64, len(hitHeads))
+		recorded := cat.Promo(t.Target.Promo)
+		for j, h := range hitHeads {
+			td.heads[j] = m.headIdx[h]
+			if m.opts.BinaryProfit {
+				td.headProfit[j] = 1
+				continue
+			}
+			rec := cat.Promo(m.space.PromoOf(h))
+			qty := m.opts.Quantity.Quantity(rec, recorded, t.Target.Qty)
+			td.headProfit[j] = rec.Profit() * qty
+		}
+	}
+}
+
+func (m *miner) run() (*Result, error) {
+	m.result.NumTransactions = m.numTxns
+	m.result.MinSupportCount = m.minCount
+
+	m.emitDefault()
+
+	// Level 1: every body candidate is a singleton; count directly.
+	level := m.countLevel(m.level1Candidates())
+	for k := 2; ; k++ {
+		frequent := m.filterFrequent(level)
+		m.result.FrequentBodies = append(m.result.FrequentBodies, len(frequent))
+		m.emitRules(frequent)
+		if k > m.opts.MaxBodyLen || len(frequent) < 2 {
+			break
+		}
+		cands := m.generateCandidates(frequent)
+		if len(cands) == 0 {
+			break
+		}
+		level = m.countLevel(cands)
+	}
+
+	// The default rule's order must be after all generated rules so that
+	// every generated rule outranks it on ties; it was emitted first only
+	// to reserve its statistics. Re-number it last.
+	m.result.Default.Order = m.orderNext
+	m.orderNext++
+	return &m.result, nil
+}
+
+// candidate is one body being counted at the current level.
+type candidate struct {
+	items []hierarchy.GenID
+	count int
+	stats []headStat // dense, indexed by head index
+}
+
+func (m *miner) level1Candidates() []*candidate {
+	bcs := m.space.BodyCandidates()
+	cands := make([]*candidate, len(bcs))
+	for i, g := range bcs {
+		cands[i] = &candidate{items: []hierarchy.GenID{g}}
+	}
+	return cands
+}
+
+// emitDefault computes the default rule ∅ → g maximizing Prof_re over all
+// heads (body matches every transaction).
+func (m *miner) emitDefault() {
+	stats := make([]headStat, len(m.heads))
+	for i := range m.txns {
+		td := &m.txns[i]
+		for j, h := range td.heads {
+			stats[h].hits++
+			stats[h].profit += td.headProfit[j]
+		}
+	}
+	best := 0
+	for h := 1; h < len(stats); h++ {
+		if stats[h].profit > stats[best].profit ||
+			(stats[h].profit == stats[best].profit && stats[h].hits > stats[best].hits) {
+			best = h
+		}
+	}
+	m.result.Default = &rules.Rule{
+		Head:      m.heads[best],
+		BodyCount: m.numTxns,
+		HitCount:  int(stats[best].hits),
+		Profit:    stats[best].profit,
+		Order:     m.orderNext,
+	}
+	m.orderNext++
+}
+
+// trieNode is a node of the candidate prefix trie used for counting.
+// Children are sorted by item.
+type trieNode struct {
+	item     hierarchy.GenID
+	children []*trieNode
+	cand     *candidate
+}
+
+// countLevel counts body matches and per-head hits for all candidates of
+// one level. Under support mining it makes two passes over the
+// transactions: the first counts body matches only, and per-head
+// accumulators are then allocated for frequent bodies alone — with
+// millions of speculative candidates at low supports, allocating head
+// statistics per candidate dominated the build profile. Under profit-only
+// pruning there is no frequency filter, so a single pass accumulates
+// everything.
+func (m *miner) countLevel(cands []*candidate) []*candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	m.result.CandidateBodies = append(m.result.CandidateBodies, len(cands))
+
+	// Candidates are generated in lexicographic order of their items, so
+	// the trie can be built by sequential insertion.
+	root := &trieNode{}
+	for _, c := range cands {
+		node := root
+		for _, g := range c.items {
+			n := len(node.children)
+			if n > 0 && node.children[n-1].item == g {
+				node = node.children[n-1]
+				continue
+			}
+			child := &trieNode{item: g}
+			node.children = append(node.children, child)
+			node = child
+		}
+		node.cand = c
+	}
+
+	if m.minCount > 0 {
+		for i := range m.txns {
+			if items := m.txns[i].items; len(items) > 0 {
+				countBodies(root.children, items)
+			}
+		}
+		any := false
+		for _, c := range cands {
+			if c.count >= m.minCount {
+				c.stats = make([]headStat, len(m.heads))
+				any = true
+			}
+		}
+		if !any {
+			return cands
+		}
+		for i := range m.txns {
+			td := &m.txns[i]
+			if len(td.items) > 0 && len(td.heads) > 0 {
+				m.countHeads(root.children, td.items, td)
+			}
+		}
+		return cands
+	}
+
+	for i := range m.txns {
+		td := &m.txns[i]
+		if len(td.items) > 0 {
+			m.countAll(root.children, td.items, td)
+		}
+	}
+	return cands
+}
+
+// countBodies is the body-count pass: it advances two sorted sequences
+// (trie children and transaction items) and increments matched
+// candidates.
+func countBodies(nodes []*trieNode, xs []hierarchy.GenID) {
+	ni, xi := 0, 0
+	for ni < len(nodes) && xi < len(xs) {
+		switch {
+		case nodes[ni].item < xs[xi]:
+			ni++
+		case nodes[ni].item > xs[xi]:
+			xi++
+		default:
+			node := nodes[ni]
+			if node.cand != nil {
+				node.cand.count++
+			}
+			if len(node.children) > 0 {
+				countBodies(node.children, xs[xi+1:])
+			}
+			ni++
+			xi++
+		}
+	}
+}
+
+// countHeads is the head pass: it accumulates hits and profit for
+// candidates that survived the frequency filter (stats allocated).
+func (m *miner) countHeads(nodes []*trieNode, xs []hierarchy.GenID, td *txnData) {
+	ni, xi := 0, 0
+	for ni < len(nodes) && xi < len(xs) {
+		switch {
+		case nodes[ni].item < xs[xi]:
+			ni++
+		case nodes[ni].item > xs[xi]:
+			xi++
+		default:
+			node := nodes[ni]
+			if c := node.cand; c != nil && c.stats != nil {
+				for j, h := range td.heads {
+					c.stats[h].hits++
+					c.stats[h].profit += td.headProfit[j]
+				}
+			}
+			if len(node.children) > 0 {
+				m.countHeads(node.children, xs[xi+1:], td)
+			}
+			ni++
+			xi++
+		}
+	}
+}
+
+// countAll is the single-pass variant for profit-only pruning.
+func (m *miner) countAll(nodes []*trieNode, xs []hierarchy.GenID, td *txnData) {
+	ni, xi := 0, 0
+	for ni < len(nodes) && xi < len(xs) {
+		switch {
+		case nodes[ni].item < xs[xi]:
+			ni++
+		case nodes[ni].item > xs[xi]:
+			xi++
+		default:
+			node := nodes[ni]
+			if c := node.cand; c != nil {
+				c.count++
+				if len(td.heads) > 0 {
+					if c.stats == nil {
+						c.stats = make([]headStat, len(m.heads))
+					}
+					for j, h := range td.heads {
+						c.stats[h].hits++
+						c.stats[h].profit += td.headProfit[j]
+					}
+				}
+			}
+			if len(node.children) > 0 {
+				m.countAll(node.children, xs[xi+1:], td)
+			}
+			ni++
+			xi++
+		}
+	}
+}
+
+// filterFrequent keeps candidates that can still yield or extend to a
+// rule: body support at least the threshold, or (under profit-only
+// pruning) some head profit at least the threshold.
+func (m *miner) filterFrequent(cands []*candidate) []*candidate {
+	var out []*candidate
+	for _, c := range cands {
+		if m.minCount > 0 {
+			if c.count >= m.minCount {
+				out = append(out, c)
+			}
+			continue
+		}
+		// Profit pruning: Prof_ru is anti-monotone in the body when all
+		// profits are non-negative, so the max head profit bounds every
+		// extension.
+		if c.stats == nil {
+			continue
+		}
+		for h := range c.stats {
+			if c.stats[h].profit >= m.opts.MinRuleProfit {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// emitRules converts a frequent body's per-head statistics into rules.
+func (m *miner) emitRules(frequent []*candidate) {
+	for _, c := range frequent {
+		if c.stats == nil {
+			continue
+		}
+		for h := range c.stats {
+			st := &c.stats[h]
+			if st.hits == 0 {
+				continue
+			}
+			if m.minCount > 0 && int(st.hits) < m.minCount {
+				continue
+			}
+			if m.opts.MinRuleProfit > 0 && st.profit < m.opts.MinRuleProfit {
+				continue
+			}
+			if m.opts.MinConfidence > 0 && float64(st.hits) < m.opts.MinConfidence*float64(c.count) {
+				continue
+			}
+			body := make([]hierarchy.GenID, len(c.items))
+			copy(body, c.items)
+			m.result.Rules = append(m.result.Rules, &rules.Rule{
+				Body:      body,
+				Head:      m.heads[h],
+				BodyCount: c.count,
+				HitCount:  int(st.hits),
+				Profit:    st.profit,
+				Order:     m.orderNext,
+			})
+			m.orderNext++
+		}
+	}
+}
+
+// generateCandidates joins frequent k-bodies sharing a (k−1)-prefix into
+// (k+1)-candidates, enforcing the antichain constraint on the new pair and
+// the Apriori condition that every k-subset is frequent.
+func (m *miner) generateCandidates(frequent []*candidate) []*candidate {
+	// Index frequent bodies for the subset check.
+	freq := make(map[string]bool, len(frequent))
+	for _, c := range frequent {
+		freq[rules.BodyKey(c.items)] = true
+	}
+
+	k := len(frequent[0].items)
+	var out []*candidate
+	sub := make([]hierarchy.GenID, k) // scratch for subset checks
+
+	for i := 0; i < len(frequent); i++ {
+		a := frequent[i]
+		for j := i + 1; j < len(frequent); j++ {
+			b := frequent[j]
+			if !samePrefix(a.items, b.items, k-1) {
+				break // frequent is lexicographically sorted
+			}
+			x, y := a.items[k-1], b.items[k-1]
+			// x < y by lexicographic order of the frequent list.
+			if m.space.Comparable(x, y) {
+				continue // bodies must be antichains (Definition 4)
+			}
+			items := make([]hierarchy.GenID, 0, k+1)
+			items = append(items, a.items...)
+			items = append(items, y)
+
+			if k >= 2 && !m.allSubsetsFrequent(items, sub, freq) {
+				continue
+			}
+			out = append(out, &candidate{items: items})
+		}
+	}
+	return out
+}
+
+// allSubsetsFrequent checks the Apriori condition for the subsets that
+// drop one of the first k−1 elements (dropping either of the last two
+// yields the generating pair, which is frequent by construction).
+func (m *miner) allSubsetsFrequent(items, sub []hierarchy.GenID, freq map[string]bool) bool {
+	n := len(items)
+	for drop := 0; drop < n-2; drop++ {
+		sub = sub[:0]
+		for i, g := range items {
+			if i != drop {
+				sub = append(sub, g)
+			}
+		}
+		if !freq[rules.BodyKey(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+func samePrefix(a, b []hierarchy.GenID, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllRules returns the generated rules plus the default rule, in
+// generation order (default last).
+func (r *Result) AllRules() []*rules.Rule {
+	out := make([]*rules.Rule, 0, len(r.Rules)+1)
+	out = append(out, r.Rules...)
+	out = append(out, r.Default)
+	return out
+}
+
+// SortedByRank returns AllRules sorted by MPF rank.
+func (r *Result) SortedByRank() []*rules.Rule {
+	out := r.AllRules()
+	rules.SortByRank(out)
+	return out
+}

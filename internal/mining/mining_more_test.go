@@ -1,0 +1,200 @@
+package mining
+
+import (
+	"math"
+	"testing"
+
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+)
+
+func TestMineHeadsAreTargetPromosOnly(t *testing.T) {
+	f := newFixture(t, true)
+	txns := []model.Transaction{
+		f.txn(f.t5, 1, f.a1, f.b1),
+		f.txn(f.t6, 1, f.a2, f.c1),
+	}
+	res, err := Mine(f.space, txns, Options{MinSupportCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.AllRules() {
+		if f.space.Kind(r.Head) != hierarchy.KindItemPromo {
+			t.Errorf("head %s is not an item-promo node", f.space.Name(r.Head))
+		}
+		if !f.space.Catalog().Item(f.space.ItemOf(r.Head)).Target {
+			t.Errorf("head %s is not a target item", f.space.Name(r.Head))
+		}
+	}
+}
+
+func TestMineBodiesExcludeTargetNodes(t *testing.T) {
+	f := newFixture(t, true)
+	txns := []model.Transaction{f.txn(f.t5, 1, f.a1, f.b1)}
+	res, err := Mine(f.space, txns, Options{MinSupportCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rules {
+		for _, g := range r.Body {
+			if f.space.ItemOf(g) == f.t {
+				t.Errorf("body contains target node %s", f.space.Name(g))
+			}
+			if f.space.Kind(g) == hierarchy.KindRoot {
+				t.Error("body contains the root")
+			}
+		}
+	}
+}
+
+func TestMineLevelStats(t *testing.T) {
+	f := newFixture(t, true)
+	var txns []model.Transaction
+	for i := 0; i < 10; i++ {
+		txns = append(txns, f.txn(f.t5, 1, f.a1, f.b1, f.c1))
+	}
+	res, err := Mine(f.space, txns, Options{MinSupportCount: 2, MaxBodyLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CandidateBodies) == 0 || len(res.FrequentBodies) == 0 {
+		t.Fatal("level statistics not populated")
+	}
+	// Frequent counts can never exceed candidate counts at any level.
+	for i := range res.FrequentBodies {
+		if i < len(res.CandidateBodies) && res.FrequentBodies[i] > res.CandidateBodies[i] {
+			t.Errorf("level %d: %d frequent > %d candidates", i+1, res.FrequentBodies[i], res.CandidateBodies[i])
+		}
+	}
+	if res.NumTransactions != 10 || res.MinSupportCount != 2 {
+		t.Errorf("result metadata = %d txns, minsup %d", res.NumTransactions, res.MinSupportCount)
+	}
+}
+
+func TestMineConfidenceBounds(t *testing.T) {
+	f := newFixture(t, true)
+	var txns []model.Transaction
+	for i := 0; i < 8; i++ {
+		tgt := f.t5
+		if i%2 == 0 {
+			tgt = f.t6
+		}
+		txns = append(txns, f.txn(tgt, 1, f.a1))
+	}
+	res, err := Mine(f.space, txns, Options{MinSupportCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.AllRules() {
+		if c := r.Conf(); c < 0 || c > 1 {
+			t.Errorf("confidence %g out of bounds for %s", c, r.String(f.space))
+		}
+		if r.HitCount > r.BodyCount {
+			t.Errorf("hits %d exceed body count %d", r.HitCount, r.BodyCount)
+		}
+		if s := r.Supp(res.NumTransactions); s < 0 || s > 1 {
+			t.Errorf("support %g out of bounds", s)
+		}
+	}
+}
+
+func TestMineExpectedBehaviorQuantity(t *testing.T) {
+	// The greedy estimation extension: building with ExpectedBehavior
+	// inflates rule profit for favorable-price heads.
+	f := newFixture(t, true)
+	txns := []model.Transaction{f.txn(f.t6, 1, f.a1)} // recorded at $6
+
+	plain, err := Mine(f.space, txns, Options{MinSupportCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := model.ExpectedBehavior{
+		Catalog: f.cat,
+		NearX:   2, NearY: 1, // 1-step discount always doubles
+		FarX: 3, FarY: 1,
+	}
+	greedy, err := Mine(f.space, txns, Options{MinSupportCount: 1, Quantity: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ⟨T,$5⟩ recommended against the $6 sale is 1 step more favorable:
+	// plain profit 2, greedy 2 × 2 = 4.
+	rp := findRule(t, plain, f.space, []string{"A"}, "⟨T,$5⟩")
+	rg := findRule(t, greedy, f.space, []string{"A"}, "⟨T,$5⟩")
+	if rp == nil || rg == nil {
+		t.Fatal("rules missing")
+	}
+	if math.Abs(rp.Profit-2) > 1e-9 || math.Abs(rg.Profit-4) > 1e-9 {
+		t.Errorf("profits = %g (plain), %g (greedy); want 2 and 4", rp.Profit, rg.Profit)
+	}
+	// The exact-price head gets no multiplier.
+	rp6 := findRule(t, plain, f.space, []string{"A"}, "⟨T,$6⟩")
+	rg6 := findRule(t, greedy, f.space, []string{"A"}, "⟨T,$6⟩")
+	if math.Abs(rp6.Profit-rg6.Profit) > 1e-9 {
+		t.Error("same-price head must not be multiplied")
+	}
+}
+
+func TestMineMinConfidence(t *testing.T) {
+	f := newFixture(t, true)
+	var txns []model.Transaction
+	// {A} → ⟨T,$6⟩ has confidence 0.5 (2 of 4); {B} → ⟨T,$5⟩ is 1.0.
+	for i := 0; i < 2; i++ {
+		txns = append(txns, f.txn(f.t6, 1, f.a1))
+		txns = append(txns, f.txn(f.t5, 1, f.a1))
+		txns = append(txns, f.txn(f.t5, 1, f.b1))
+	}
+	res, err := Mine(f.space, txns, Options{MinSupportCount: 1, MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := findRule(t, res, f.space, []string{"A"}, "⟨T,$6⟩"); r != nil {
+		t.Errorf("low-confidence rule survived: %s", r.String(f.space))
+	}
+	if findRule(t, res, f.space, []string{"B"}, "⟨T,$5⟩") == nil {
+		t.Error("high-confidence rule missing")
+	}
+	for _, r := range res.Rules {
+		if r.Conf() < 0.8 {
+			t.Errorf("rule below confidence threshold emitted: %s", r.String(f.space))
+		}
+	}
+	// Out-of-range threshold rejected.
+	if _, err := Mine(f.space, txns, Options{MinSupportCount: 1, MinConfidence: 1.5}); err == nil {
+		t.Error("MinConfidence > 1 must fail")
+	}
+}
+
+func TestMineEmptyBaskets(t *testing.T) {
+	// Transactions may have no non-target sales at all; only the default
+	// rule can cover them.
+	f := newFixture(t, true)
+	txns := []model.Transaction{
+		{Target: model.Sale{Item: f.t, Promo: f.t5, Qty: 1}},
+		f.txn(f.t5, 1, f.a1),
+	}
+	res, err := Mine(f.space, txns, Options{MinSupportCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Default.BodyCount != 2 || res.Default.HitCount != 2 {
+		t.Errorf("default rule = N%d hits%d, want 2/2", res.Default.BodyCount, res.Default.HitCount)
+	}
+	r := findRule(t, res, f.space, []string{"A"}, "⟨T,$5⟩")
+	if r == nil || r.BodyCount != 1 {
+		t.Fatalf("{A} rule = %+v, want body count 1", r)
+	}
+}
+
+func TestMineLargeQuantityProfit(t *testing.T) {
+	f := newFixture(t, true)
+	txns := []model.Transaction{f.txn(f.t5, 10, f.a1)} // quantity 10
+	res, err := Mine(f.space, txns, Options{MinSupportCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := findRule(t, res, f.space, []string{"A"}, "⟨T,$5⟩")
+	if r == nil || math.Abs(r.Profit-20) > 1e-9 {
+		t.Fatalf("quantity-10 profit = %+v, want 20", r)
+	}
+}

@@ -1,0 +1,197 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Catalog is the registry of items and their promotion codes. A Catalog is
+// built once with AddItem/AddPromo and then treated as immutable by the
+// rest of the system; it is safe for concurrent reads after building.
+type Catalog struct {
+	items  []Item      // items[i] has ID i+1
+	promos []PromoCode // promos[i] has ID i+1
+
+	byName       map[string]ItemID
+	promosByItem map[ItemID][]PromoID
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		byName:       make(map[string]ItemID),
+		promosByItem: make(map[ItemID][]PromoID),
+	}
+}
+
+// AddItem registers an item and returns its ID. Names must be non-empty
+// and unique; AddItem panics otherwise, since catalogs are built from
+// trusted construction code (use Validate for data-driven checks).
+func (c *Catalog) AddItem(name string, target bool) ItemID {
+	if name == "" {
+		panic("model: empty item name")
+	}
+	if _, dup := c.byName[name]; dup {
+		panic(fmt.Sprintf("model: duplicate item name %q", name))
+	}
+	id := ItemID(len(c.items) + 1)
+	c.items = append(c.items, Item{ID: id, Name: name, Target: target})
+	c.byName[name] = id
+	return id
+}
+
+// AddPromo registers a promotion code for item and returns its ID.
+func (c *Catalog) AddPromo(item ItemID, price, cost, packing float64) PromoID {
+	if !c.validItem(item) {
+		panic(fmt.Sprintf("model: AddPromo: unknown item %d", item))
+	}
+	id := PromoID(len(c.promos) + 1)
+	c.promos = append(c.promos, PromoCode{ID: id, Item: item, Price: price, Cost: cost, Packing: packing})
+	c.promosByItem[item] = append(c.promosByItem[item], id)
+	return id
+}
+
+// AddDescriptive registers a descriptive (attribute) item together with its
+// single conventional promotion code (Price=1, Cost=0, Packing=1) and
+// returns both IDs.
+func (c *Catalog) AddDescriptive(name string) (ItemID, PromoID) {
+	item := c.AddItem(name, false)
+	return item, c.AddPromo(item, 1, 0, 1)
+}
+
+// NumItems returns the number of registered items.
+func (c *Catalog) NumItems() int { return len(c.items) }
+
+// NumPromos returns the number of registered promotion codes.
+func (c *Catalog) NumPromos() int { return len(c.promos) }
+
+// Item returns the item with the given ID. It panics on an invalid ID.
+func (c *Catalog) Item(id ItemID) Item {
+	if !c.validItem(id) {
+		panic(fmt.Sprintf("model: unknown item %d", id))
+	}
+	return c.items[id-1]
+}
+
+// Promo returns the promotion code with the given ID. It panics on an
+// invalid ID.
+func (c *Catalog) Promo(id PromoID) PromoCode {
+	if !c.validPromo(id) {
+		panic(fmt.Sprintf("model: unknown promo %d", id))
+	}
+	return c.promos[id-1]
+}
+
+// ItemByName returns the ID of the named item.
+func (c *Catalog) ItemByName(name string) (ItemID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// Promos returns the promotion codes of item, in insertion order. The
+// returned slice must not be modified.
+func (c *Catalog) Promos(item ItemID) []PromoID { return c.promosByItem[item] }
+
+// Items returns all items in ID order. The returned slice must not be
+// modified.
+func (c *Catalog) Items() []Item { return c.items }
+
+// TargetItems returns the IDs of all target items in ID order.
+func (c *Catalog) TargetItems() []ItemID {
+	var ids []ItemID
+	for _, it := range c.items {
+		if it.Target {
+			ids = append(ids, it.ID)
+		}
+	}
+	return ids
+}
+
+// SaleProfit returns the profit of a sale: (Price − Cost) × Qty of its
+// promotion code.
+func (c *Catalog) SaleProfit(s Sale) float64 {
+	return c.Promo(s.Promo).Profit() * s.Qty
+}
+
+// FavorablePromos returns, for the given promotion code, all promotion
+// codes of the same item that are equally or more favorable (p ⪯ given),
+// ordered most favorable first (ties broken by ID). The result always
+// contains the given code itself.
+func (c *Catalog) FavorablePromos(id PromoID) []PromoID {
+	q := c.Promo(id)
+	var out []PromoID
+	for _, pid := range c.promosByItem[q.Item] {
+		if FavorableOrEqual(c.Promo(pid), q) {
+			out = append(out, pid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := c.Promo(out[i]), c.Promo(out[j])
+		if MoreFavorable(a, b) {
+			return true
+		}
+		if MoreFavorable(b, a) {
+			return false
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Validate checks catalog invariants that construction cannot enforce:
+// non-negative prices and costs, positive packings, and every item having
+// at least one promotion code when it is a target (targets are assumed to
+// have a natural notion of promotion code, Section 2).
+func (c *Catalog) Validate() error {
+	if len(c.items) == 0 {
+		return errors.New("model: catalog has no items")
+	}
+	for _, p := range c.promos {
+		if p.Price < 0 {
+			return fmt.Errorf("model: promo %d of item %d has negative price %g", p.ID, p.Item, p.Price)
+		}
+		if p.Cost < 0 {
+			return fmt.Errorf("model: promo %d of item %d has negative cost %g", p.ID, p.Item, p.Cost)
+		}
+		if p.Packing <= 0 {
+			return fmt.Errorf("model: promo %d of item %d has non-positive packing %g", p.ID, p.Item, p.Packing)
+		}
+	}
+	for _, it := range c.items {
+		if it.Target && len(c.promosByItem[it.ID]) == 0 {
+			return fmt.Errorf("model: target item %q has no promotion codes", it.Name)
+		}
+	}
+	return nil
+}
+
+func (c *Catalog) validItem(id ItemID) bool {
+	return id >= 1 && int(id) <= len(c.items)
+}
+
+func (c *Catalog) validPromo(id PromoID) bool {
+	return id >= 1 && int(id) <= len(c.promos)
+}
+
+func (c *Catalog) validateSale(s Sale, target bool) error {
+	if !c.validItem(s.Item) {
+		return fmt.Errorf("unknown item %d", s.Item)
+	}
+	if !c.validPromo(s.Promo) {
+		return fmt.Errorf("unknown promo %d", s.Promo)
+	}
+	if p := c.Promo(s.Promo); p.Item != s.Item {
+		return fmt.Errorf("promo %d belongs to item %d, not %d", s.Promo, p.Item, s.Item)
+	}
+	if s.Qty <= 0 {
+		return fmt.Errorf("non-positive quantity %g", s.Qty)
+	}
+	if it := c.Item(s.Item); it.Target != target {
+		if target {
+			return fmt.Errorf("target sale of non-target item %q", it.Name)
+		}
+		return fmt.Errorf("non-target sale of target item %q", it.Name)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package model defines the core data model of profit mining: items,
+// promotion codes, sales, transactions and datasets, together with the
+// favorability partial order over promotion codes.
+//
+// The vocabulary follows Wang, Zhou and Han, "Profit Mining: From Patterns
+// to Actions" (EDBT 2002), Section 2. A transaction consists of exactly one
+// target sale and any number of non-target sales. A sale ⟨I, P, Q⟩ records
+// that quantity Q of item I was sold under promotion code P; a successful
+// recommendation of ⟨I, P⟩ generates (Price(P) − Cost(P)) × Q profit.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ItemID identifies an item in a Catalog. The zero value is invalid; valid
+// IDs are assigned by Catalog.AddItem starting from 1.
+type ItemID int32
+
+// PromoID identifies a promotion code in a Catalog. The zero value is
+// invalid; valid IDs are assigned by Catalog.AddPromo starting from 1.
+type PromoID int32
+
+// Item is a product (or a descriptive attribute such as Gender=Male).
+// Target items are the items the recommender promotes; non-target items
+// trigger recommendations.
+type Item struct {
+	ID     ItemID
+	Name   string
+	Target bool
+}
+
+// PromoCode is a promotion code of one item: a package of Packing units
+// sold at Price with total cost Cost. Price, Cost and sale quantities all
+// refer to the same packing (Example 1 of the paper: a sale of 5 under
+// ($3.2/4-pack, $2) generates 5 × (3.2 − 2) profit and moves 20 packs).
+//
+// Descriptive items use the convention Price=1, Cost=0, Packing=1, under
+// which profit degenerates to support (Section 2).
+type PromoCode struct {
+	ID      PromoID
+	Item    ItemID
+	Price   float64 // price per package
+	Cost    float64 // cost per package
+	Packing float64 // units per package (the "value" offered)
+}
+
+// Profit returns the per-package profit Price − Cost.
+func (p PromoCode) Profit() float64 { return p.Price - p.Cost }
+
+// FavorableOrEqual reports whether p is equally or more favorable than q
+// (written p ⪯ q in the paper): p offers at least as much value for a price
+// that is no higher. Promotion codes of different items are incomparable.
+func FavorableOrEqual(p, q PromoCode) bool {
+	return p.Item == q.Item && p.Packing >= q.Packing && p.Price <= q.Price
+}
+
+// MoreFavorable reports whether p is strictly more favorable than q
+// (written p ≺ q): p ⪯ q and the two codes differ in price or value.
+// "More value for the same or lower price, or a lower price for the same
+// or more value" (Section 2). Note that a bigger package at a higher
+// price is incomparable: it is not favorable to pay more for unwanted
+// quantity.
+func MoreFavorable(p, q PromoCode) bool {
+	return FavorableOrEqual(p, q) && (p.Packing > q.Packing || p.Price < q.Price)
+}
+
+// Sale is one line of a transaction: quantity Qty of item Item sold under
+// promotion code Promo. Qty counts packages of the promotion code's
+// packing.
+type Sale struct {
+	Item  ItemID
+	Promo PromoID
+	Qty   float64
+}
+
+// Transaction is one past purchase: one target sale plus the non-target
+// sales that accompanied it.
+type Transaction struct {
+	NonTarget []Sale
+	Target    Sale
+}
+
+// Basket is the non-target purchase of a future customer, i.e. the input
+// to a recommender.
+type Basket []Sale
+
+// Dataset couples a catalog with a collection of transactions over it.
+type Dataset struct {
+	Catalog      *Catalog
+	Transactions []Transaction
+}
+
+// RecordedProfit returns the profit recorded in the dataset's target
+// sales — the denominator of the paper's gain metric.
+func (d *Dataset) RecordedProfit() float64 {
+	var total float64
+	for i := range d.Transactions {
+		total += d.Catalog.SaleProfit(d.Transactions[i].Target)
+	}
+	return total
+}
+
+// Validate checks every transaction against the catalog: sales must
+// reference existing items and promotion codes, the promotion code of a
+// sale must belong to the sale's item, quantities must be positive, target
+// sales must be of target items and non-target sales of non-target items.
+func (d *Dataset) Validate() error {
+	if d.Catalog == nil {
+		return errors.New("model: dataset has no catalog")
+	}
+	if err := d.Catalog.Validate(); err != nil {
+		return err
+	}
+	for i := range d.Transactions {
+		t := &d.Transactions[i]
+		if err := d.Catalog.validateSale(t.Target, true); err != nil {
+			return fmt.Errorf("model: transaction %d target: %w", i, err)
+		}
+		for j, s := range t.NonTarget {
+			if err := d.Catalog.validateSale(s, false); err != nil {
+				return fmt.Errorf("model: transaction %d non-target %d: %w", i, j, err)
+			}
+		}
+	}
+	return nil
+}

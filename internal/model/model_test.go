@@ -1,0 +1,388 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// groceryCatalog builds the catalog of the paper's running examples:
+// 2%-Milk with the four promotion codes of Example 1, Egg, Perfume,
+// Lipstick and Diamond.
+func groceryCatalog(t *testing.T) (*Catalog, map[string]ItemID, map[string]PromoID) {
+	t.Helper()
+	c := NewCatalog()
+	items := map[string]ItemID{}
+	promos := map[string]PromoID{}
+
+	items["Milk"] = c.AddItem("2%-Milk", true)
+	promos["Milk4a"] = c.AddPromo(items["Milk"], 3.2, 2.0, 4)
+	promos["Milk4b"] = c.AddPromo(items["Milk"], 3.0, 1.8, 4)
+	promos["Milk1a"] = c.AddPromo(items["Milk"], 1.2, 0.5, 1)
+	promos["Milk1b"] = c.AddPromo(items["Milk"], 1.0, 0.5, 1)
+
+	items["Egg"] = c.AddItem("Egg", false)
+	promos["Egg2a"] = c.AddPromo(items["Egg"], 3.8, 2.0, 2)
+	promos["Egg2b"] = c.AddPromo(items["Egg"], 3.5, 2.0, 2)
+	promos["Egg1"] = c.AddPromo(items["Egg"], 3.5, 2.0, 1)
+
+	items["Perfume"] = c.AddItem("Perfume", false)
+	promos["Perfume"] = c.AddPromo(items["Perfume"], 30, 10, 1)
+
+	items["Lipstick"] = c.AddItem("Lipstick", true)
+	promos["Lipstick"] = c.AddPromo(items["Lipstick"], 10, 6, 1)
+
+	items["Diamond"] = c.AddItem("Diamond", true)
+	promos["Diamond"] = c.AddPromo(items["Diamond"], 1000, 700, 1)
+
+	return c, items, promos
+}
+
+func TestCatalogLookups(t *testing.T) {
+	c, items, promos := groceryCatalog(t)
+	if got := c.NumItems(); got != 5 {
+		t.Fatalf("NumItems = %d, want 5", got)
+	}
+	if got := c.NumPromos(); got != 10 {
+		t.Fatalf("NumPromos = %d, want 10", got)
+	}
+	if it := c.Item(items["Milk"]); it.Name != "2%-Milk" || !it.Target {
+		t.Errorf("Item(Milk) = %+v", it)
+	}
+	if id, ok := c.ItemByName("Egg"); !ok || id != items["Egg"] {
+		t.Errorf("ItemByName(Egg) = %d, %v", id, ok)
+	}
+	if _, ok := c.ItemByName("Caviar"); ok {
+		t.Error("ItemByName(Caviar) should not exist")
+	}
+	if got := len(c.Promos(items["Milk"])); got != 4 {
+		t.Errorf("Milk has %d promos, want 4", got)
+	}
+	p := c.Promo(promos["Milk4a"])
+	if p.Price != 3.2 || p.Cost != 2.0 || p.Packing != 4 {
+		t.Errorf("Promo(Milk4a) = %+v", p)
+	}
+	targets := c.TargetItems()
+	if len(targets) != 3 {
+		t.Errorf("TargetItems = %v, want 3 targets", targets)
+	}
+}
+
+func TestExample1Profit(t *testing.T) {
+	// Example 1: a sale of quantity 5 under ($3.2/4-pack, $2) generates
+	// 5 × (3.2 − 2) = $6 profit.
+	c, items, promos := groceryCatalog(t)
+	s := Sale{Item: items["Milk"], Promo: promos["Milk4a"], Qty: 5}
+	if got := c.SaleProfit(s); math.Abs(got-6.0) > 1e-12 {
+		t.Errorf("SaleProfit = %g, want 6", got)
+	}
+}
+
+func TestFavorabilityPaperExamples(t *testing.T) {
+	// Section 2: $3.50/2-pack ≺ $3.80/2-pack (lower price, same value);
+	// $3.50/2-pack ≺ $3.50/1-pack (more value, same price);
+	// $3.80/2-pack and $3.50/1-pack are incomparable.
+	c, _, promos := groceryCatalog(t)
+	p380x2 := c.Promo(promos["Egg2a"])
+	p350x2 := c.Promo(promos["Egg2b"])
+	p350x1 := c.Promo(promos["Egg1"])
+
+	if !MoreFavorable(p350x2, p380x2) {
+		t.Error("$3.50/2-pack should be more favorable than $3.80/2-pack")
+	}
+	if !MoreFavorable(p350x2, p350x1) {
+		t.Error("$3.50/2-pack should be more favorable than $3.50/1-pack")
+	}
+	if MoreFavorable(p380x2, p350x1) || MoreFavorable(p350x1, p380x2) {
+		t.Error("$3.80/2-pack and $3.50/1-pack should be incomparable")
+	}
+}
+
+func TestFavorabilityCrossItem(t *testing.T) {
+	c, _, promos := groceryCatalog(t)
+	milk := c.Promo(promos["Milk1b"])
+	egg := c.Promo(promos["Egg2a"])
+	if FavorableOrEqual(milk, egg) || FavorableOrEqual(egg, milk) {
+		t.Error("promos of different items must be incomparable")
+	}
+}
+
+func TestFavorablePromos(t *testing.T) {
+	c, _, promos := groceryCatalog(t)
+	// Promos ⪯ ($1.2/pack): itself and ($1/pack). The 4-packs cost more in
+	// absolute price, so they are not favorable relative to a single pack...
+	// except ($3.0/4-pack) and ($3.2/4-pack) have higher price, hence
+	// excluded.
+	got := c.FavorablePromos(promos["Milk1a"])
+	want := []PromoID{promos["Milk1b"], promos["Milk1a"]}
+	if len(got) != len(want) {
+		t.Fatalf("FavorablePromos = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FavorablePromos = %v, want %v", got, want)
+		}
+	}
+	// The most favorable milk 4-pack promo dominates both 4-packs.
+	got = c.FavorablePromos(promos["Milk4a"])
+	if len(got) != 2 || got[0] != promos["Milk4b"] || got[1] != promos["Milk4a"] {
+		t.Fatalf("FavorablePromos(4-pack) = %v", got)
+	}
+	// A code is always favorable to itself.
+	for name, id := range promos {
+		found := false
+		for _, pid := range c.FavorablePromos(id) {
+			if pid == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("FavorablePromos(%s) does not contain itself", name)
+		}
+	}
+}
+
+// quickPromo maps arbitrary integers into a small grid of promo codes of a
+// single item so that comparable pairs occur frequently under quick.Check.
+func quickPromo(a, b uint8) PromoCode {
+	return PromoCode{
+		Item:    1,
+		Price:   float64(a%5) + 1,
+		Packing: float64(b%5) + 1,
+		Cost:    0.5,
+	}
+}
+
+func TestFavorableOrEqualIsPartialOrder(t *testing.T) {
+	reflexive := func(a, b uint8) bool {
+		p := quickPromo(a, b)
+		return FavorableOrEqual(p, p)
+	}
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Error(err)
+	}
+	antisymmetric := func(a, b, x, y uint8) bool {
+		p, q := quickPromo(a, b), quickPromo(x, y)
+		if FavorableOrEqual(p, q) && FavorableOrEqual(q, p) {
+			return p.Price == q.Price && p.Packing == q.Packing
+		}
+		return true
+	}
+	if err := quick.Check(antisymmetric, nil); err != nil {
+		t.Error(err)
+	}
+	transitive := func(a, b, x, y, u, v uint8) bool {
+		p, q, r := quickPromo(a, b), quickPromo(x, y), quickPromo(u, v)
+		if FavorableOrEqual(p, q) && FavorableOrEqual(q, r) {
+			return FavorableOrEqual(p, r)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreFavorableIsStrictOrder(t *testing.T) {
+	irreflexive := func(a, b uint8) bool {
+		p := quickPromo(a, b)
+		return !MoreFavorable(p, p)
+	}
+	if err := quick.Check(irreflexive, nil); err != nil {
+		t.Error(err)
+	}
+	asymmetric := func(a, b, x, y uint8) bool {
+		p, q := quickPromo(a, b), quickPromo(x, y)
+		return !(MoreFavorable(p, q) && MoreFavorable(q, p))
+	}
+	if err := quick.Check(asymmetric, nil); err != nil {
+		t.Error(err)
+	}
+	strictIsReflexiveMinusEqual := func(a, b, x, y uint8) bool {
+		p, q := quickPromo(a, b), quickPromo(x, y)
+		want := FavorableOrEqual(p, q) && (p.Price != q.Price || p.Packing != q.Packing)
+		return MoreFavorable(p, q) == want
+	}
+	if err := quick.Check(strictIsReflexiveMinusEqual, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddItemPanics(t *testing.T) {
+	c := NewCatalog()
+	c.AddItem("A", false)
+
+	mustPanic(t, "empty name", func() { c.AddItem("", false) })
+	mustPanic(t, "duplicate name", func() { c.AddItem("A", true) })
+	mustPanic(t, "unknown item in AddPromo", func() { c.AddPromo(99, 1, 0, 1) })
+	mustPanic(t, "unknown item lookup", func() { c.Item(42) })
+	mustPanic(t, "unknown promo lookup", func() { c.Promo(42) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestCatalogValidate(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Validate(); err == nil {
+		t.Error("empty catalog should fail validation")
+	}
+
+	c = NewCatalog()
+	tgt := c.AddItem("T", true)
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "no promotion codes") {
+		t.Errorf("target without promos: err = %v", err)
+	}
+	c.AddPromo(tgt, 10, 4, 1)
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid catalog: err = %v", err)
+	}
+
+	c2 := NewCatalog()
+	it := c2.AddItem("X", true)
+	c2.AddPromo(it, -1, 0, 1)
+	if err := c2.Validate(); err == nil {
+		t.Error("negative price should fail validation")
+	}
+	c3 := NewCatalog()
+	it3 := c3.AddItem("X", true)
+	c3.AddPromo(it3, 1, 0, 0)
+	if err := c3.Validate(); err == nil {
+		t.Error("zero packing should fail validation")
+	}
+	c4 := NewCatalog()
+	it4 := c4.AddItem("X", true)
+	c4.AddPromo(it4, 1, -2, 1)
+	if err := c4.Validate(); err == nil {
+		t.Error("negative cost should fail validation")
+	}
+}
+
+func TestNegativeProfitPromoIsAllowed(t *testing.T) {
+	// Selling below cost is legal (loss leaders); only Validate's structural
+	// invariants reject it, not profitability.
+	c := NewCatalog()
+	it := c.AddItem("LossLeader", true)
+	p := c.AddPromo(it, 1.0, 2.0, 1)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := c.Promo(p).Profit(); got != -1.0 {
+		t.Errorf("Profit = %g, want -1", got)
+	}
+}
+
+func TestDescriptiveItemConvention(t *testing.T) {
+	c := NewCatalog()
+	item, promo := c.AddDescriptive("Gender=Male")
+	p := c.Promo(promo)
+	if p.Price != 1 || p.Cost != 0 || p.Packing != 1 {
+		t.Errorf("descriptive promo = %+v, want price 1, cost 0, packing 1", p)
+	}
+	if c.Item(item).Target {
+		t.Error("descriptive items must be non-target")
+	}
+	// With the convention, profit equals support contribution (1 per unit).
+	if got := c.SaleProfit(Sale{Item: item, Promo: promo, Qty: 1}); got != 1 {
+		t.Errorf("descriptive sale profit = %g, want 1", got)
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	c, items, promos := groceryCatalog(t)
+	ok := Transaction{
+		NonTarget: []Sale{{Item: items["Perfume"], Promo: promos["Perfume"], Qty: 1}},
+		Target:    Sale{Item: items["Lipstick"], Promo: promos["Lipstick"], Qty: 2},
+	}
+	d := &Dataset{Catalog: c, Transactions: []Transaction{ok}}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(tr *Transaction)
+		want string
+	}{
+		{"target is non-target item", func(tr *Transaction) {
+			tr.Target = Sale{Item: items["Egg"], Promo: promos["Egg1"], Qty: 1}
+		}, "target sale of non-target item"},
+		{"non-target is target item", func(tr *Transaction) {
+			tr.NonTarget[0] = Sale{Item: items["Diamond"], Promo: promos["Diamond"], Qty: 1}
+		}, "non-target sale of target item"},
+		{"promo of wrong item", func(tr *Transaction) {
+			tr.Target.Promo = promos["Diamond"]
+		}, "belongs to item"},
+		{"zero quantity", func(tr *Transaction) {
+			tr.Target.Qty = 0
+		}, "non-positive quantity"},
+		{"unknown item", func(tr *Transaction) {
+			tr.Target.Item = 99
+		}, "unknown item"},
+		{"unknown promo", func(tr *Transaction) {
+			tr.Target.Promo = 99
+		}, "unknown promo"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := Transaction{
+				NonTarget: []Sale{ok.NonTarget[0]},
+				Target:    ok.Target,
+			}
+			tc.mut(&tr)
+			d := &Dataset{Catalog: c, Transactions: []Transaction{tr}}
+			err := d.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+
+	if err := (&Dataset{}).Validate(); err == nil {
+		t.Error("dataset without catalog should fail validation")
+	}
+}
+
+func TestRecordedProfit(t *testing.T) {
+	c, items, promos := groceryCatalog(t)
+	d := &Dataset{Catalog: c, Transactions: []Transaction{
+		{Target: Sale{Item: items["Lipstick"], Promo: promos["Lipstick"], Qty: 2}}, // 2×4 = 8
+		{Target: Sale{Item: items["Diamond"], Promo: promos["Diamond"], Qty: 1}},   // 300
+		{Target: Sale{Item: items["Milk"], Promo: promos["Milk4a"], Qty: 5}},       // 6
+	}}
+	if got := d.RecordedProfit(); math.Abs(got-314) > 1e-9 {
+		t.Errorf("RecordedProfit = %g, want 314", got)
+	}
+}
+
+func TestEggPackageScenario(t *testing.T) {
+	// Introduction scenario: 100 customers at $1/pack (cost $.5) → $50;
+	// 100 customers at $3.2/4-pack (cost $2) → $120.
+	c := NewCatalog()
+	egg := c.AddItem("Egg", true)
+	pack := c.AddPromo(egg, 1.0, 0.5, 1)
+	four := c.AddPromo(egg, 3.2, 2.0, 4)
+
+	var txns []Transaction
+	for i := 0; i < 100; i++ {
+		txns = append(txns, Transaction{Target: Sale{Item: egg, Promo: pack, Qty: 1}})
+		txns = append(txns, Transaction{Target: Sale{Item: egg, Promo: four, Qty: 1}})
+	}
+	d := &Dataset{Catalog: c, Transactions: txns}
+	if got := d.RecordedProfit(); math.Abs(got-170) > 1e-9 {
+		t.Errorf("RecordedProfit = %g, want 170", got)
+	}
+	// If all 200 had bought the package price: $240.
+	all := 200 * c.Promo(four).Profit()
+	if math.Abs(all-240) > 1e-9 {
+		t.Errorf("package-only profit = %g, want 240", all)
+	}
+}

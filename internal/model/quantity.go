@@ -1,0 +1,92 @@
+package model
+
+// QuantityModel estimates the quantity a customer would buy under a
+// recommended promotion code, given the promotion code and quantity they
+// actually bought at. It is the MOA purchase-quantity assumption of
+// Section 3.1: the recorded sale proves intent, and the model translates
+// that intent to the more favorable recommended code.
+type QuantityModel interface {
+	// Quantity returns the estimated purchase quantity under recommended
+	// for a customer whose recorded sale was (recorded, qty). recommended
+	// is equally or more favorable than recorded.
+	Quantity(recommended, recorded PromoCode, qty float64) float64
+}
+
+// SavingMOA assumes the customer keeps the original quantity and saves
+// money — the paper's conservative default. Under it, generated profit
+// never exceeds recorded profit, so the gain metric is at most 1.
+type SavingMOA struct{}
+
+// Quantity returns qty unchanged.
+func (SavingMOA) Quantity(_, _ PromoCode, qty float64) float64 { return qty }
+
+// BuyingMOA assumes the customer keeps the original spending unchanged and
+// buys more: Q = Price(recorded)·qty / Price(recommended).
+type BuyingMOA struct{}
+
+// Quantity returns the spending-preserving quantity. If the recommended
+// price is zero (free promotion), the recorded quantity is kept — there is
+// no spending to preserve.
+func (BuyingMOA) Quantity(recommended, recorded PromoCode, qty float64) float64 {
+	if recommended.Price <= 0 {
+		return qty
+	}
+	return recorded.Price * qty / recommended.Price
+}
+
+// FavorabilitySteps returns how many promotion codes of the item lie on
+// the favorability chain from recommended (exclusive) up to recorded
+// (inclusive): the number of codes q with recommended ≺ q ⪯ recorded.
+// For the paper's synthetic price ladders P_1 < … < P_m this equals the
+// price-index difference q − p used by the (x, y) behavior settings of
+// Section 5.3. Identical codes give 0.
+func FavorabilitySteps(c *Catalog, recommended, recorded PromoID) int {
+	rec := c.Promo(recommended)
+	old := c.Promo(recorded)
+	if rec.Item != old.Item {
+		return 0
+	}
+	steps := 0
+	for _, qid := range c.Promos(rec.Item) {
+		q := c.Promo(qid)
+		if MoreFavorable(rec, q) && FavorableOrEqual(q, old) {
+			steps++
+		}
+	}
+	return steps
+}
+
+// ExpectedBehavior is the "more greedy estimation" of Section 3.1 made
+// concrete with the (x, y) behavior settings of Section 5.3, in
+// expectation: a recommendation 1–2 favorability steps below the recorded
+// code multiplies the quantity by NearX with probability NearY, and one
+// 3+ steps below multiplies it by FarX with probability FarY. The
+// expected multiplier 1 + (x−1)·y is applied on top of Base (typically
+// SavingMOA). It can be used at model-building time to push anticipated
+// behavior into rule profits.
+type ExpectedBehavior struct {
+	Catalog *Catalog
+	NearX   float64 // quantity multiplier for 1–2 steps
+	NearY   float64 // probability of the near multiplier
+	FarX    float64 // quantity multiplier for 3+ steps
+	FarY    float64 // probability of the far multiplier
+	Base    QuantityModel
+}
+
+// Quantity applies the expected multiplier for the favorability distance.
+func (b ExpectedBehavior) Quantity(recommended, recorded PromoCode, qty float64) float64 {
+	base := b.Base
+	if base == nil {
+		base = SavingMOA{}
+	}
+	q := base.Quantity(recommended, recorded, qty)
+	steps := FavorabilitySteps(b.Catalog, recommended.ID, recorded.ID)
+	switch {
+	case steps >= 3:
+		return q * (1 + (b.FarX-1)*b.FarY)
+	case steps >= 1:
+		return q * (1 + (b.NearX-1)*b.NearY)
+	default:
+		return q
+	}
+}

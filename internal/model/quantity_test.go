@@ -1,0 +1,106 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// ladder builds an item with the paper's synthetic price ladder:
+// P_j = (1 + j·0.1)·cost for j = 1..4.
+func ladder(t *testing.T, cost float64) (*Catalog, ItemID, []PromoID) {
+	t.Helper()
+	c := NewCatalog()
+	it := c.AddItem("T", true)
+	promos := make([]PromoID, 4)
+	for j := 0; j < 4; j++ {
+		promos[j] = c.AddPromo(it, (1+float64(j+1)*0.1)*cost, cost, 1)
+	}
+	return c, it, promos
+}
+
+func TestSavingMOA(t *testing.T) {
+	c, _, promos := ladder(t, 10)
+	rec, old := c.Promo(promos[0]), c.Promo(promos[3])
+	if got := (SavingMOA{}).Quantity(rec, old, 7); got != 7 {
+		t.Errorf("saving quantity = %g, want 7", got)
+	}
+}
+
+func TestBuyingMOA(t *testing.T) {
+	c, _, promos := ladder(t, 10)
+	rec, old := c.Promo(promos[0]), c.Promo(promos[3]) // $11 vs $14
+	// Spending preserved: 14×2/11.
+	if got := (BuyingMOA{}).Quantity(rec, old, 2); math.Abs(got-28.0/11) > 1e-12 {
+		t.Errorf("buying quantity = %g, want %g", got, 28.0/11)
+	}
+	// Same promo → same quantity.
+	if got := (BuyingMOA{}).Quantity(old, old, 2); math.Abs(got-2) > 1e-12 {
+		t.Errorf("buying quantity at same promo = %g, want 2", got)
+	}
+	// Zero recommended price keeps the quantity.
+	free := PromoCode{Item: 1, Price: 0, Cost: 0, Packing: 1}
+	if got := (BuyingMOA{}).Quantity(free, old, 2); got != 2 {
+		t.Errorf("free-promo quantity = %g, want 2", got)
+	}
+}
+
+func TestFavorabilitySteps(t *testing.T) {
+	c, _, promos := ladder(t, 10)
+	cases := []struct {
+		rec, old int // indices into the ladder
+		want     int
+	}{
+		{0, 0, 0}, {3, 3, 0},
+		{0, 1, 1}, {1, 2, 1}, {2, 3, 1},
+		{0, 2, 2}, {1, 3, 2},
+		{0, 3, 3},
+	}
+	for _, tc := range cases {
+		if got := FavorabilitySteps(c, promos[tc.rec], promos[tc.old]); got != tc.want {
+			t.Errorf("steps(P%d → P%d) = %d, want %d", tc.old+1, tc.rec+1, got, tc.want)
+		}
+	}
+}
+
+func TestFavorabilityStepsCrossItem(t *testing.T) {
+	c := NewCatalog()
+	a := c.AddItem("A", true)
+	pa := c.AddPromo(a, 1, 0.5, 1)
+	b := c.AddItem("B", true)
+	pb := c.AddPromo(b, 2, 1, 1)
+	if got := FavorabilitySteps(c, pa, pb); got != 0 {
+		t.Errorf("cross-item steps = %d, want 0", got)
+	}
+}
+
+func TestExpectedBehavior(t *testing.T) {
+	c, _, promos := ladder(t, 10)
+	eb := ExpectedBehavior{
+		Catalog: c,
+		NearX:   2, NearY: 0.3,
+		FarX: 3, FarY: 0.4,
+	}
+	old := c.Promo(promos[3])
+
+	// 0 steps: unchanged.
+	if got := eb.Quantity(old, old, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("0-step quantity = %g, want 1", got)
+	}
+	// 1–2 steps: expected multiplier 1 + (2−1)·0.3 = 1.3.
+	if got := eb.Quantity(c.Promo(promos[2]), old, 1); math.Abs(got-1.3) > 1e-12 {
+		t.Errorf("1-step quantity = %g, want 1.3", got)
+	}
+	if got := eb.Quantity(c.Promo(promos[1]), old, 1); math.Abs(got-1.3) > 1e-12 {
+		t.Errorf("2-step quantity = %g, want 1.3", got)
+	}
+	// 3 steps: 1 + (3−1)·0.4 = 1.8.
+	if got := eb.Quantity(c.Promo(promos[0]), old, 1); math.Abs(got-1.8) > 1e-12 {
+		t.Errorf("3-step quantity = %g, want 1.8", got)
+	}
+	// Composes with a base model (buying MOA).
+	eb.Base = BuyingMOA{}
+	rec := c.Promo(promos[0]) // $11 vs $14 → base 14/11
+	if got := eb.Quantity(rec, old, 1); math.Abs(got-1.8*14/11) > 1e-12 {
+		t.Errorf("composed quantity = %g, want %g", got, 1.8*14/11)
+	}
+}

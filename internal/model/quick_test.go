@@ -1,0 +1,101 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFavorabilityStepsProperties checks structural laws of the step
+// counter on random price ladders: zero at equality, positivity exactly
+// when strictly more favorable, and additivity along a chain (for a
+// totally ordered ladder, steps(a→c) = steps(a→b) + steps(b→c)).
+func TestFavorabilityStepsProperties(t *testing.T) {
+	build := func(prices []uint8) (*Catalog, []PromoID) {
+		c := NewCatalog()
+		it := c.AddItem("T", true)
+		ids := make([]PromoID, 0, len(prices))
+		seen := map[float64]bool{}
+		for _, p := range prices {
+			price := float64(p%16) + 1
+			if seen[price] {
+				continue // distinct prices keep the ladder a chain
+			}
+			seen[price] = true
+			ids = append(ids, c.AddPromo(it, price, 0.5, 1))
+		}
+		return c, ids
+	}
+
+	zeroAtSelf := func(prices []uint8) bool {
+		c, ids := build(prices)
+		for _, id := range ids {
+			if FavorabilitySteps(c, id, id) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(zeroAtSelf, nil); err != nil {
+		t.Error(err)
+	}
+
+	positivity := func(prices []uint8) bool {
+		c, ids := build(prices)
+		for _, a := range ids {
+			for _, b := range ids {
+				steps := FavorabilitySteps(c, a, b)
+				strict := MoreFavorable(c.Promo(a), c.Promo(b))
+				if strict != (steps > 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(positivity, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+
+	additivity := func(prices []uint8) bool {
+		c, ids := build(prices)
+		for _, a := range ids {
+			for _, b := range ids {
+				for _, d := range ids {
+					pa, pb, pd := c.Promo(a), c.Promo(b), c.Promo(d)
+					if MoreFavorable(pa, pb) && MoreFavorable(pb, pd) {
+						if FavorabilitySteps(c, a, d) != FavorabilitySteps(c, a, b)+FavorabilitySteps(c, b, d) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(additivity, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSaleProfitLinearity: profit is linear in quantity.
+func TestSaleProfitLinearity(t *testing.T) {
+	c := NewCatalog()
+	it := c.AddItem("T", true)
+	id := c.AddPromo(it, 7, 3, 2)
+	prop := func(q1, q2 uint16) bool {
+		a := c.SaleProfit(Sale{Item: it, Promo: id, Qty: float64(q1)})
+		b := c.SaleProfit(Sale{Item: it, Promo: id, Qty: float64(q2)})
+		sum := c.SaleProfit(Sale{Item: it, Promo: id, Qty: float64(q1) + float64(q2)})
+		return abs(sum-(a+b)) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,292 @@
+// Package quest reimplements the IBM Quest synthetic transaction data
+// generator used by the paper's evaluation (Section 5.2), following the
+// published description in Agrawal & Srikant, "Fast Algorithms for Mining
+// Association Rules" (VLDB 1994), Section "Synthetic data".
+//
+// The generator first builds a pool of potentially large (frequent)
+// itemsets — "patterns" — and then assembles each transaction from
+// weighted, corrupted patterns, which plants the correlation structure
+// that association mining discovers. The original binary from
+// almaden.ibm.com is no longer distributable; this is a from-scratch
+// reimplementation with the same parameters and distributions:
+//
+//   - pattern sizes:     Poisson(|I|−1) + 1
+//   - pattern overlap:   an exponentially distributed fraction (mean =
+//     Correlation) of each pattern is drawn from its predecessor
+//   - pattern weights:   exponential, normalized to sum 1
+//   - corruption levels: normal with mean 0.5 and variance 0.1, clamped
+//   - transaction sizes: Poisson(|T|)
+//   - an oversized pattern is put in the transaction anyway half the
+//     time, and deferred to the next transaction otherwise
+package quest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"profitmining/internal/stats"
+)
+
+// Config holds the Quest generator parameters. The field comments give the
+// classical parameter names; zero values select the defaults the paper
+// uses ("default settings for other parameters").
+type Config struct {
+	NumTransactions int     // |D|: number of transactions (default 100000)
+	NumItems        int     // N:   number of items (default 1000)
+	AvgTxnLen       float64 // |T|: average transaction size (default 10)
+	AvgPatternLen   float64 // |I|: average pattern size (default 4)
+	NumPatterns     int     // |L|: number of patterns (default 2000)
+	Correlation     float64 // mean overlap fraction between consecutive patterns (default 0.5)
+	CorruptionMean  float64 // mean of per-pattern corruption level (default 0.5)
+	CorruptionStd   float64 // std of per-pattern corruption level (default √0.1)
+	Seed            int64   // RNG seed; the same seed reproduces the same data
+}
+
+// Defaults returns cfg with unset (zero) fields replaced by the classical
+// defaults.
+func (cfg Config) Defaults() Config {
+	if cfg.NumTransactions == 0 {
+		cfg.NumTransactions = 100000
+	}
+	if cfg.NumItems == 0 {
+		cfg.NumItems = 1000
+	}
+	if cfg.AvgTxnLen == 0 {
+		cfg.AvgTxnLen = 10
+	}
+	if cfg.AvgPatternLen == 0 {
+		cfg.AvgPatternLen = 4
+	}
+	if cfg.NumPatterns == 0 {
+		cfg.NumPatterns = 2000
+	}
+	if cfg.Correlation == 0 {
+		cfg.Correlation = 0.5
+	}
+	if cfg.CorruptionMean == 0 {
+		cfg.CorruptionMean = 0.5
+	}
+	if cfg.CorruptionStd == 0 {
+		cfg.CorruptionStd = math.Sqrt(0.1)
+	}
+	return cfg
+}
+
+func (cfg Config) validate() error {
+	switch {
+	case cfg.NumTransactions < 0:
+		return fmt.Errorf("quest: negative NumTransactions %d", cfg.NumTransactions)
+	case cfg.NumItems <= 0:
+		return fmt.Errorf("quest: NumItems %d must be positive", cfg.NumItems)
+	case cfg.AvgTxnLen <= 0:
+		return fmt.Errorf("quest: AvgTxnLen %g must be positive", cfg.AvgTxnLen)
+	case cfg.AvgPatternLen <= 0:
+		return fmt.Errorf("quest: AvgPatternLen %g must be positive", cfg.AvgPatternLen)
+	case cfg.NumPatterns <= 0:
+		return fmt.Errorf("quest: NumPatterns %d must be positive", cfg.NumPatterns)
+	case cfg.Correlation < 0 || cfg.Correlation > 1:
+		return fmt.Errorf("quest: Correlation %g outside [0,1]", cfg.Correlation)
+	case cfg.CorruptionMean < 0 || cfg.CorruptionMean > 1:
+		return fmt.Errorf("quest: CorruptionMean %g outside [0,1]", cfg.CorruptionMean)
+	case cfg.CorruptionStd < 0:
+		return fmt.Errorf("quest: negative CorruptionStd %g", cfg.CorruptionStd)
+	}
+	return nil
+}
+
+// pattern is one potentially large itemset with its selection weight and
+// corruption level.
+type pattern struct {
+	items      []int32
+	weight     float64
+	corruption float64
+}
+
+// Generate produces transactions as slices of distinct item IDs in
+// [0, NumItems). Unset config fields take their defaults. Transactions are
+// never empty, but their lengths vary around AvgTxnLen.
+func Generate(cfg Config) ([][]int32, error) {
+	txns, _, err := GenerateSeeded(cfg)
+	return txns, err
+}
+
+// Detail is the full output of GenerateDetailed: the transactions, the
+// seed-pattern index of each transaction, and the patterns themselves.
+type Detail struct {
+	Txns     [][]int32
+	Seeds    []int32   // seed pattern index per transaction
+	Patterns [][]int32 // pattern items, by pattern index
+}
+
+// GenerateDetailed is Generate plus the per-transaction seed pattern and
+// the pattern pool. Downstream dataset builders use the seed pattern to
+// correlate target sales with basket contents.
+func GenerateDetailed(cfg Config) (*Detail, error) {
+	txns, seeds, patterns, err := generateSeeded(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Detail{Txns: txns, Seeds: seeds, Patterns: patterns}, nil
+}
+
+// GenerateSeeded returns the transactions and each transaction's
+// seed-pattern index.
+func GenerateSeeded(cfg Config) ([][]int32, []int32, error) {
+	txns, seeds, _, err := generateSeeded(cfg)
+	return txns, seeds, err
+}
+
+func generateSeeded(cfg Config) ([][]int32, []int32, [][]int32, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	patterns := generatePatterns(cfg, rng)
+
+	weights := make([]float64, len(patterns))
+	for i, p := range patterns {
+		weights[i] = p.weight
+	}
+	pick := stats.NewDiscrete(weights)
+
+	txns := make([][]int32, 0, cfg.NumTransactions)
+	seeds := make([]int32, 0, cfg.NumTransactions)
+	var deferred []int32 // pattern pushed to the next transaction
+	deferredIdx := int32(-1)
+	inTxn := make(map[int32]bool, 32)
+
+	for len(txns) < cfg.NumTransactions {
+		size := stats.Poisson(rng, cfg.AvgTxnLen)
+		if size < 1 {
+			size = 1
+		}
+		txn := make([]int32, 0, size+4)
+		seed := int32(-1)
+		for k := range inTxn {
+			delete(inTxn, k)
+		}
+		add := func(items []int32, idx int32) {
+			if seed < 0 && len(items) > 0 {
+				seed = idx
+			}
+			for _, it := range items {
+				if !inTxn[it] {
+					inTxn[it] = true
+					txn = append(txn, it)
+				}
+			}
+		}
+		if deferred != nil {
+			add(deferred, deferredIdx)
+			deferred, deferredIdx = nil, -1
+		}
+		// stale guards degenerate universes (e.g. two items, every pattern
+		// a subset of the transaction) where no draw can grow the
+		// transaction any further.
+		for stale := 0; len(txn) < size && stale < 64; {
+			pi := int32(pick.Sample(rng))
+			corrupted := corrupt(rng, patterns[pi])
+			if len(corrupted) == 0 {
+				stale++
+				continue
+			}
+			if len(txn)+len(corrupted) > size && len(txn) > 0 {
+				// Oversized: keep it anyway half the time, otherwise move
+				// it to the next transaction (as in the original).
+				if rng.Intn(2) == 0 {
+					add(corrupted, pi)
+				} else {
+					deferred, deferredIdx = corrupted, pi
+				}
+				break
+			}
+			before := len(txn)
+			add(corrupted, pi)
+			if len(txn) == before {
+				stale++
+			} else {
+				stale = 0
+			}
+		}
+		if len(txn) == 0 {
+			continue
+		}
+		txns = append(txns, txn)
+		seeds = append(seeds, seed)
+	}
+	patternItems := make([][]int32, len(patterns))
+	for i, p := range patterns {
+		patternItems[i] = p.items
+	}
+	return txns, seeds, patternItems, nil
+}
+
+// generatePatterns builds the pool of potentially large itemsets.
+func generatePatterns(cfg Config, rng *rand.Rand) []pattern {
+	patterns := make([]pattern, cfg.NumPatterns)
+	var prev []int32
+	for i := range patterns {
+		size := stats.Poisson(rng, cfg.AvgPatternLen-1) + 1
+		if size > cfg.NumItems {
+			size = cfg.NumItems
+		}
+		items := make([]int32, 0, size)
+		seen := make(map[int32]bool, size)
+
+		// A fraction of the items comes from the previous pattern
+		// (exponentially distributed with mean Correlation).
+		if len(prev) > 0 {
+			frac := rng.ExpFloat64() * cfg.Correlation
+			if frac > 1 {
+				frac = 1
+			}
+			common := int(math.Round(frac * float64(size)))
+			if common > len(prev) {
+				common = len(prev)
+			}
+			for _, j := range rng.Perm(len(prev))[:common] {
+				it := prev[j]
+				if !seen[it] {
+					seen[it] = true
+					items = append(items, it)
+				}
+			}
+		}
+		for len(items) < size {
+			it := int32(rng.Intn(cfg.NumItems))
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+		patterns[i] = pattern{
+			items:      items,
+			weight:     rng.ExpFloat64(),
+			corruption: stats.ClampedNormal(rng, cfg.CorruptionMean, cfg.CorruptionStd, 0, 1),
+		}
+		prev = items
+	}
+	return patterns
+}
+
+// corrupt drops items from the tail of a pattern while successive uniform
+// draws stay below the pattern's corruption level, per the original
+// generator.
+func corrupt(rng *rand.Rand, p pattern) []int32 {
+	keep := len(p.items)
+	for keep > 0 && rng.Float64() < p.corruption {
+		keep--
+	}
+	if keep == len(p.items) {
+		return p.items
+	}
+	// Drop random positions, not just a prefix, so every item of a pattern
+	// is equally likely to survive corruption.
+	out := make([]int32, 0, keep)
+	for _, j := range rng.Perm(len(p.items))[:keep] {
+		out = append(out, p.items[j])
+	}
+	return out
+}

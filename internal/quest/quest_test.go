@@ -1,0 +1,201 @@
+package quest
+
+import (
+	"math"
+	"testing"
+)
+
+func generate(t *testing.T, cfg Config) [][]int32 {
+	t.Helper()
+	txns, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return txns
+}
+
+func smallConfig() Config {
+	return Config{
+		NumTransactions: 5000,
+		NumItems:        200,
+		AvgTxnLen:       10,
+		AvgPatternLen:   4,
+		NumPatterns:     300,
+		Seed:            11,
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	cfg := smallConfig()
+	txns := generate(t, cfg)
+	if len(txns) != cfg.NumTransactions {
+		t.Fatalf("generated %d transactions, want %d", len(txns), cfg.NumTransactions)
+	}
+	var totalLen int
+	for i, txn := range txns {
+		if len(txn) == 0 {
+			t.Fatalf("transaction %d is empty", i)
+		}
+		seen := map[int32]bool{}
+		for _, it := range txn {
+			if it < 0 || int(it) >= cfg.NumItems {
+				t.Fatalf("transaction %d has out-of-range item %d", i, it)
+			}
+			if seen[it] {
+				t.Fatalf("transaction %d repeats item %d", i, it)
+			}
+			seen[it] = true
+		}
+		totalLen += len(txn)
+	}
+	avg := float64(totalLen) / float64(len(txns))
+	if math.Abs(avg-cfg.AvgTxnLen) > 2.5 {
+		t.Errorf("average transaction length = %g, want ≈%g", avg, cfg.AvgTxnLen)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a := generate(t, cfg)
+	b := generate(t, cfg)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ across identical seeds")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("transaction %d length differs", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("transaction %d item %d differs", i, j)
+			}
+		}
+	}
+
+	cfg.Seed = 12
+	c := generate(t, cfg)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if len(a[i]) != len(c[i]) {
+				same = false
+				break
+			}
+			for j := range a[i] {
+				if a[i][j] != c[i][j] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGeneratePlantsCorrelation(t *testing.T) {
+	// Patterns plant co-occurrence: the most frequent pair should occur
+	// far more often than independence predicts.
+	cfg := smallConfig()
+	txns := generate(t, cfg)
+
+	single := map[int32]int{}
+	pair := map[[2]int32]int{}
+	for _, txn := range txns {
+		for i, a := range txn {
+			single[a]++
+			for _, b := range txn[i+1:] {
+				k := [2]int32{a, b}
+				if a > b {
+					k = [2]int32{b, a}
+				}
+				pair[k]++
+			}
+		}
+	}
+	var bestPair [2]int32
+	best := 0
+	for k, c := range pair {
+		if c > best {
+			best, bestPair = c, k
+		}
+	}
+	n := float64(len(txns))
+	expected := float64(single[bestPair[0]]) * float64(single[bestPair[1]]) / n
+	if float64(best) < 3*expected {
+		t.Errorf("top pair count %d not above independence expectation %.1f — no correlation planted", best, expected)
+	}
+}
+
+func TestGenerateItemCoverage(t *testing.T) {
+	cfg := smallConfig()
+	txns := generate(t, cfg)
+	used := map[int32]bool{}
+	for _, txn := range txns {
+		for _, it := range txn {
+			used[it] = true
+		}
+	}
+	// With 300 patterns of avg size 4 over 200 items, nearly all items
+	// should appear somewhere.
+	if len(used) < cfg.NumItems*8/10 {
+		t.Errorf("only %d/%d items ever used", len(used), cfg.NumItems)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	d := Config{}.Defaults()
+	if d.NumTransactions != 100000 || d.NumItems != 1000 || d.AvgTxnLen != 10 ||
+		d.AvgPatternLen != 4 || d.NumPatterns != 2000 || d.Correlation != 0.5 ||
+		d.CorruptionMean != 0.5 || math.Abs(d.CorruptionStd-math.Sqrt(0.1)) > 1e-12 {
+		t.Errorf("Defaults = %+v", d)
+	}
+	// Explicit settings survive Defaults.
+	c := Config{NumItems: 7, AvgTxnLen: 3}.Defaults()
+	if c.NumItems != 7 || c.AvgTxnLen != 3 {
+		t.Errorf("Defaults overwrote explicit fields: %+v", c)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{NumTransactions: -1},
+		{NumItems: -5},
+		{AvgTxnLen: -1},
+		{AvgPatternLen: -2},
+		{NumPatterns: -1},
+		{Correlation: 1.5},
+		{CorruptionMean: 2},
+		{CorruptionStd: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestGenerateTinyUniverse(t *testing.T) {
+	// Pattern sizes larger than the item universe must be clamped and the
+	// generator must still terminate.
+	txns := generate(t, Config{
+		NumTransactions: 100,
+		NumItems:        3,
+		AvgTxnLen:       2,
+		AvgPatternLen:   10,
+		NumPatterns:     4,
+		Seed:            5,
+	})
+	if len(txns) != 100 {
+		t.Fatalf("generated %d transactions", len(txns))
+	}
+	for _, txn := range txns {
+		if len(txn) > 3 {
+			t.Fatalf("transaction has %d items in a 3-item universe", len(txn))
+		}
+	}
+}

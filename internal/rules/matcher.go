@@ -1,0 +1,191 @@
+package rules
+
+import (
+	"sort"
+
+	"profitmining/internal/hierarchy"
+)
+
+// Matcher is a prefix trie over rule bodies that answers subset queries:
+// given a sorted set of generalized sales, find every rule whose body is
+// contained in it. It serves two jobs:
+//
+//   - recommendation matching — a rule matches a basket iff its body is a
+//     subset of the basket's expansion;
+//   - generality queries — rule p is more general than rule r iff
+//     body(p) ⊆ ExpandBody(body(r)), so "find all rules more general
+//     than r" is the same subset query over r's body expansion. This is
+//     what makes dominated-rule removal and covering-tree construction
+//     near-linear instead of quadratic in the rule count.
+//
+// Matchers are built incrementally with Insert; several rules may share a
+// body.
+type Matcher struct {
+	root     matchNode
+	defaults []*Rule // empty-body rules match everything
+}
+
+type matchNode struct {
+	item     hierarchy.GenID
+	children []*matchNode
+	rules    []*Rule
+}
+
+// NewMatcher builds a matcher over the given rules.
+func NewMatcher(rs []*Rule) *Matcher {
+	m := &Matcher{}
+	for _, r := range rs {
+		m.Insert(r)
+	}
+	return m
+}
+
+// Insert adds a rule to the matcher.
+func (m *Matcher) Insert(r *Rule) {
+	if len(r.Body) == 0 {
+		m.defaults = append(m.defaults, r)
+		return
+	}
+	node := &m.root
+	for _, g := range r.Body {
+		node = node.child(g)
+	}
+	node.rules = append(node.rules, r)
+}
+
+// child returns the child for item g, creating it in sorted position.
+func (n *matchNode) child(g hierarchy.GenID) *matchNode {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].item >= g })
+	if i < len(n.children) && n.children[i].item == g {
+		return n.children[i]
+	}
+	c := &matchNode{item: g}
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+	return c
+}
+
+// MatchAll calls fn for every rule whose body is a subset of the sorted
+// set xs, including default rules.
+func (m *Matcher) MatchAll(xs []hierarchy.GenID, fn func(*Rule)) {
+	for _, r := range m.defaults {
+		fn(r)
+	}
+	matchWalk(m.root.children, xs, fn)
+}
+
+func matchWalk(nodes []*matchNode, xs []hierarchy.GenID, fn func(*Rule)) {
+	ni, xi := 0, 0
+	for ni < len(nodes) && xi < len(xs) {
+		switch {
+		case nodes[ni].item < xs[xi]:
+			ni++
+		case nodes[ni].item > xs[xi]:
+			xi++
+		default:
+			node := nodes[ni]
+			for _, r := range node.rules {
+				fn(r)
+			}
+			if len(node.children) > 0 {
+				matchWalk(node.children, xs[xi+1:], fn)
+			}
+			ni++
+			xi++
+		}
+	}
+}
+
+// Best returns the highest-ranked rule whose body is a subset of xs, or
+// nil if none matches.
+func (m *Matcher) Best(xs []hierarchy.GenID) *Rule {
+	var best *Rule
+	m.MatchAll(xs, func(r *Rule) {
+		if best == nil || Outranks(r, best) {
+			best = r
+		}
+	})
+	return best
+}
+
+// MatchAllRules calls fn for every rule in the matcher, in trie order.
+func (m *Matcher) MatchAllRules(fn func(*Rule)) {
+	for _, r := range m.defaults {
+		fn(r)
+	}
+	var walk func(nodes []*matchNode)
+	walk = func(nodes []*matchNode) {
+		for _, n := range nodes {
+			for _, r := range n.rules {
+				fn(r)
+			}
+			walk(n.children)
+		}
+	}
+	walk(m.root.children)
+}
+
+// Any reports whether any rule's body is a subset of xs. It is cheaper
+// than MatchAll because it can stop at the first hit.
+func (m *Matcher) Any(xs []hierarchy.GenID) bool {
+	if len(m.defaults) > 0 {
+		return true
+	}
+	return anyWalk(m.root.children, xs)
+}
+
+func anyWalk(nodes []*matchNode, xs []hierarchy.GenID) bool {
+	ni, xi := 0, 0
+	for ni < len(nodes) && xi < len(xs) {
+		switch {
+		case nodes[ni].item < xs[xi]:
+			ni++
+		case nodes[ni].item > xs[xi]:
+			xi++
+		default:
+			node := nodes[ni]
+			if len(node.rules) > 0 {
+				return true
+			}
+			if len(node.children) > 0 && anyWalk(node.children, xs[xi+1:]) {
+				return true
+			}
+			ni++
+			xi++
+		}
+	}
+	return false
+}
+
+// ExpandBody returns the sorted set of generalized sales that can appear
+// in the body of a rule more general than one with the given body: the
+// body's elements and all their strict ancestors, excluding the root
+// (whose rules are default rules, handled separately).
+func ExpandBody(s *hierarchy.Space, body []hierarchy.GenID) []hierarchy.GenID {
+	return AppendExpandBody(s, body, nil)
+}
+
+// AppendExpandBody is ExpandBody reusing buf's backing storage — the
+// domination and covering-tree passes call it once per mined rule, so
+// avoiding an allocation each time matters at low minimum supports.
+func AppendExpandBody(s *hierarchy.Space, body []hierarchy.GenID, buf []hierarchy.GenID) []hierarchy.GenID {
+	out := buf[:0]
+	for _, g := range body {
+		out = append(out, g)
+		for _, a := range s.Ancestors(g) {
+			if s.Kind(a) != hierarchy.KindRoot {
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, g := range out {
+		if i == 0 || g != out[w-1] {
+			out[w] = g
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -1,0 +1,98 @@
+package rules
+
+import (
+	"testing"
+	"testing/quick"
+
+	"profitmining/internal/hierarchy"
+)
+
+// TestBodyKeyInjective: distinct bodies must map to distinct keys (the
+// Apriori subset checks and rule deduplication depend on it).
+func TestBodyKeyInjective(t *testing.T) {
+	canon := func(raw []uint32) []hierarchy.GenID {
+		out := make([]hierarchy.GenID, 0, len(raw))
+		for _, v := range raw {
+			out = append(out, hierarchy.GenID(v%1_000_000))
+		}
+		// Canonical bodies are sorted and deduplicated.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		w := 0
+		for i, g := range out {
+			if i == 0 || g != out[w-1] {
+				out[w] = g
+				w++
+			}
+		}
+		return out[:w]
+	}
+	equal := func(a, b []hierarchy.GenID) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	prop := func(ra, rb []uint32) bool {
+		a, b := canon(ra), canon(rb)
+		return (BodyKey(a) == BodyKey(b)) == equal(a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOutranksIsStrictTotalOrder: on rules with distinct Order values the
+// MPF rank must be a strict total order (irreflexive, asymmetric,
+// transitive, total) — the precondition for every tie-break downstream.
+func TestOutranksIsStrictTotalOrder(t *testing.T) {
+	mk := func(profit uint8, hits, n uint8, bodyLen, order uint8) *Rule {
+		body := make([]hierarchy.GenID, bodyLen%4)
+		for i := range body {
+			body[i] = hierarchy.GenID(i + 1)
+		}
+		return &Rule{
+			Body:      body,
+			BodyCount: int(n%20) + 1,
+			HitCount:  int(hits % 21),
+			Profit:    float64(profit % 16),
+			Order:     int(order),
+		}
+	}
+	asymmetric := func(p1, h1, n1, b1 uint8, p2, h2, n2, b2 uint8) bool {
+		a := mk(p1, h1, n1, b1, 1)
+		b := mk(p2, h2, n2, b2, 2)
+		return !(Outranks(a, b) && Outranks(b, a))
+	}
+	if err := quick.Check(asymmetric, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	total := func(p1, h1, n1, b1 uint8, p2, h2, n2, b2 uint8) bool {
+		a := mk(p1, h1, n1, b1, 1)
+		b := mk(p2, h2, n2, b2, 2)
+		return Outranks(a, b) || Outranks(b, a)
+	}
+	if err := quick.Check(total, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	transitive := func(p1, h1, p2, h2, p3, h3 uint8) bool {
+		a := mk(p1, h1, 10, 1, 1)
+		b := mk(p2, h2, 10, 1, 2)
+		c := mk(p3, h3, 10, 1, 3)
+		if Outranks(a, b) && Outranks(b, c) {
+			return Outranks(a, c)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,283 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+)
+
+// testSpace builds a small space: non-target item A with prices $1 < $2,
+// non-target item B with price $1, concept "Snacks" over both, and target
+// item T with prices $5 < $6.
+type testSpace struct {
+	s                *hierarchy.Space
+	a1, a2, b1       hierarchy.GenID // promo nodes
+	aN, bN, snacks   hierarchy.GenID // item/concept nodes
+	t5, t6           hierarchy.GenID // heads
+	cat              *model.Catalog
+	promoA1, promoA2 model.PromoID
+	itemT            model.ItemID
+	promoT5, promoT6 model.PromoID
+}
+
+func newTestSpace(t *testing.T) *testSpace {
+	t.Helper()
+	cat := model.NewCatalog()
+	a := cat.AddItem("A", false)
+	pa1 := cat.AddPromo(a, 1, 0.5, 1)
+	pa2 := cat.AddPromo(a, 2, 0.5, 1)
+	b := cat.AddItem("B", false)
+	pb1 := cat.AddPromo(b, 1, 0.5, 1)
+	tt := cat.AddItem("T", true)
+	pt5 := cat.AddPromo(tt, 5, 3, 1)
+	pt6 := cat.AddPromo(tt, 6, 3, 1)
+
+	hb := hierarchy.NewBuilder(cat)
+	hb.AddConcept("Snacks")
+	hb.PlaceItem(a, "Snacks")
+	hb.PlaceItem(b, "Snacks")
+	s, err := hb.Compile(hierarchy.Options{MOA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testSpace{
+		s:  s,
+		a1: s.PromoNode(pa1), a2: s.PromoNode(pa2), b1: s.PromoNode(pb1),
+		aN: s.ItemNode(a), bN: s.ItemNode(b),
+		snacks:  mustConcept(t, s, "Snacks"),
+		t5:      s.PromoNode(pt5),
+		t6:      s.PromoNode(pt6),
+		cat:     cat,
+		promoA1: pa1, promoA2: pa2,
+		itemT:   tt,
+		promoT5: pt5, promoT6: pt6,
+	}
+}
+
+func mustConcept(t *testing.T, s *hierarchy.Space, name string) hierarchy.GenID {
+	t.Helper()
+	for g := 0; g < s.NumNodes(); g++ {
+		if s.Name(hierarchy.GenID(g)) == name {
+			return hierarchy.GenID(g)
+		}
+	}
+	t.Fatalf("concept %q not found", name)
+	return 0
+}
+
+func TestMeasures(t *testing.T) {
+	r := &Rule{BodyCount: 40, HitCount: 30, Profit: 90}
+	if got := r.Supp(100); got != 0.3 {
+		t.Errorf("Supp = %g, want 0.3", got)
+	}
+	if got := r.Conf(); got != 0.75 {
+		t.Errorf("Conf = %g, want 0.75", got)
+	}
+	if got := r.ProfRe(); got != 2.25 {
+		t.Errorf("ProfRe = %g, want 2.25", got)
+	}
+	zero := &Rule{}
+	if zero.Supp(0) != 0 || zero.Conf() != 0 || zero.ProfRe() != 0 {
+		t.Error("zero-count measures must be 0")
+	}
+}
+
+func TestOutranksOrder(t *testing.T) {
+	ts := newTestSpace(t)
+	// Rank criteria in order: ProfRe, then support (HitCount), then body
+	// size, then generation order.
+	higherProf := &Rule{Body: []hierarchy.GenID{ts.a1}, BodyCount: 10, HitCount: 5, Profit: 100, Order: 9}
+	lowerProf := &Rule{Body: nil, BodyCount: 10, HitCount: 9, Profit: 50, Order: 1}
+	if !Outranks(higherProf, lowerProf) || Outranks(lowerProf, higherProf) {
+		t.Error("profit per recommendation must dominate the rank")
+	}
+
+	moreSupp := &Rule{BodyCount: 20, HitCount: 10, Profit: 20, Order: 9}
+	lessSupp := &Rule{BodyCount: 10, HitCount: 5, Profit: 10, Order: 1}
+	// Equal ProfRe (1.0); moreSupp has more hits.
+	if !Outranks(moreSupp, lessSupp) {
+		t.Error("support must break ProfRe ties")
+	}
+
+	small := &Rule{Body: []hierarchy.GenID{ts.a1}, BodyCount: 10, HitCount: 5, Profit: 10, Order: 9}
+	big := &Rule{Body: []hierarchy.GenID{ts.a1, ts.b1}, BodyCount: 10, HitCount: 5, Profit: 10, Order: 1}
+	if !Outranks(small, big) {
+		t.Error("smaller body must break support ties")
+	}
+
+	early := &Rule{Body: []hierarchy.GenID{ts.a1}, BodyCount: 10, HitCount: 5, Profit: 10, Order: 1}
+	late := &Rule{Body: []hierarchy.GenID{ts.b1}, BodyCount: 10, HitCount: 5, Profit: 10, Order: 2}
+	if !Outranks(early, late) || Outranks(late, early) {
+		t.Error("generation order must make the rank total")
+	}
+}
+
+func TestSortByRankTotalOrder(t *testing.T) {
+	rs := []*Rule{
+		{BodyCount: 10, HitCount: 2, Profit: 10, Order: 3},
+		{BodyCount: 10, HitCount: 5, Profit: 30, Order: 1},
+		{BodyCount: 10, HitCount: 5, Profit: 10, Order: 2},
+		{BodyCount: 10, HitCount: 2, Profit: 10, Order: 0},
+	}
+	SortByRank(rs)
+	// The Order=1 rule wins on ProfRe (3.0); among the ProfRe=1.0 rules,
+	// Order=2 has more hits, and Order=0 precedes Order=3 by generation.
+	wantOrder := []int{1, 2, 0, 3}
+	for i, r := range rs {
+		if r.Order != wantOrder[i] {
+			t.Fatalf("rank position %d has Order %d, want %d", i, r.Order, wantOrder[i])
+		}
+	}
+}
+
+func TestMoreGeneral(t *testing.T) {
+	ts := newTestSpace(t)
+	def := &Rule{Head: ts.t5}
+	rSnacks := &Rule{Body: []hierarchy.GenID{ts.snacks}, Head: ts.t5}
+	rItemA := &Rule{Body: []hierarchy.GenID{ts.aN}, Head: ts.t6}
+	rA2 := &Rule{Body: []hierarchy.GenID{ts.a2}, Head: ts.t5}
+	rA1 := &Rule{Body: []hierarchy.GenID{ts.a1}, Head: ts.t5}
+	rA1B := &Rule{Body: sortedIDs(ts.a1, ts.b1), Head: ts.t5}
+
+	cases := []struct {
+		name string
+		a, b *Rule
+		want bool
+	}{
+		{"default generalizes everything", def, rA1B, true},
+		{"concept generalizes item", rSnacks, rItemA, true},
+		{"item generalizes promo level", rItemA, rA2, true},
+		{"favorable price generalizes unfavorable", rA1, rA2, true},
+		{"not vice versa", rA2, rA1, false},
+		{"subset body is more general", rA1, rA1B, true},
+		{"superset body is not", rA1B, rA1, false},
+		{"reflexive", rA1, rA1, true},
+		{"heads are irrelevant", rItemA, rA2, true},
+	}
+	for _, tc := range cases {
+		if got := MoreGeneral(ts.s, tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: MoreGeneral = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func sortedIDs(ids ...hierarchy.GenID) []hierarchy.GenID {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+func TestRemoveDominated(t *testing.T) {
+	ts := newTestSpace(t)
+	// general outranks special → special is dominated.
+	general := &Rule{Body: []hierarchy.GenID{ts.aN}, Head: ts.t5, BodyCount: 10, HitCount: 8, Profit: 100, Order: 0}
+	special := &Rule{Body: []hierarchy.GenID{ts.a2}, Head: ts.t5, BodyCount: 5, HitCount: 4, Profit: 20, Order: 1}
+	// specialHigh is more special but ranked HIGHER → survives.
+	specialHigh := &Rule{Body: []hierarchy.GenID{ts.a1}, Head: ts.t6, BodyCount: 5, HitCount: 5, Profit: 100, Order: 2}
+	// unrelated body → survives.
+	other := &Rule{Body: []hierarchy.GenID{ts.b1}, Head: ts.t5, BodyCount: 8, HitCount: 2, Profit: 8, Order: 3}
+
+	kept := RemoveDominated(ts.s, []*Rule{special, general, specialHigh, other})
+	want := map[int]bool{0: true, 2: true, 3: true}
+	if len(kept) != 3 {
+		t.Fatalf("kept %d rules, want 3", len(kept))
+	}
+	for _, r := range kept {
+		if !want[r.Order] {
+			t.Errorf("unexpected survivor Order=%d", r.Order)
+		}
+	}
+	// Result is rank-sorted.
+	for i := 1; i < len(kept); i++ {
+		if Outranks(kept[i], kept[i-1]) {
+			t.Error("RemoveDominated result not rank-sorted")
+		}
+	}
+}
+
+func TestRemoveDominatedSameBody(t *testing.T) {
+	ts := newTestSpace(t)
+	// Two rules with identical bodies: only the higher ranked can ever
+	// fire under MPF, so the other is dominated.
+	hi := &Rule{Body: []hierarchy.GenID{ts.a1}, Head: ts.t5, BodyCount: 10, HitCount: 9, Profit: 50, Order: 0}
+	lo := &Rule{Body: []hierarchy.GenID{ts.a1}, Head: ts.t6, BodyCount: 10, HitCount: 5, Profit: 20, Order: 1}
+	kept := RemoveDominated(ts.s, []*Rule{lo, hi})
+	if len(kept) != 1 || kept[0] != hi {
+		t.Fatalf("kept = %v, want only the higher-ranked rule", kept)
+	}
+}
+
+func TestRemoveDominatedTransitivity(t *testing.T) {
+	ts := newTestSpace(t)
+	// top dominates mid, mid dominates leaf; even though mid is removed,
+	// leaf must also be removed (dominated transitively by top).
+	top := &Rule{Body: nil, Head: ts.t5, BodyCount: 100, HitCount: 90, Profit: 1000, Order: 0}
+	mid := &Rule{Body: []hierarchy.GenID{ts.aN}, Head: ts.t5, BodyCount: 50, HitCount: 40, Profit: 400, Order: 1}
+	leaf := &Rule{Body: []hierarchy.GenID{ts.a2}, Head: ts.t5, BodyCount: 10, HitCount: 5, Profit: 30, Order: 2}
+	kept := RemoveDominated(ts.s, []*Rule{leaf, mid, top})
+	if len(kept) != 1 || kept[0] != top {
+		t.Fatalf("kept %d rules, want only the top rule", len(kept))
+	}
+}
+
+func TestMatches(t *testing.T) {
+	ts := newTestSpace(t)
+	basket := []model.Sale{{Item: ts.cat.Items()[0].ID, Promo: ts.promoA2, Qty: 1}}
+	exp := ts.s.ExpandBasket(basket)
+
+	def := &Rule{Head: ts.t5}
+	if !def.Matches(ts.s, exp) || !def.Matches(ts.s, nil) {
+		t.Error("default rule must match everything")
+	}
+	rA1 := &Rule{Body: []hierarchy.GenID{ts.a1}, Head: ts.t5}
+	if !rA1.Matches(ts.s, exp) {
+		t.Error("⟨A,$1⟩ must match a basket with A at $2 under MOA")
+	}
+	rB := &Rule{Body: []hierarchy.GenID{ts.b1}, Head: ts.t5}
+	if rB.Matches(ts.s, exp) {
+		t.Error("⟨B,$1⟩ must not match a basket without B")
+	}
+}
+
+func TestBodyKey(t *testing.T) {
+	a := BodyKey([]hierarchy.GenID{1, 2, 300})
+	b := BodyKey([]hierarchy.GenID{1, 2, 300})
+	c := BodyKey([]hierarchy.GenID{1, 2, 301})
+	if a != b {
+		t.Error("identical bodies must have identical keys")
+	}
+	if a == c {
+		t.Error("different bodies must have different keys")
+	}
+	if BodyKey(nil) != "" {
+		t.Error("empty body key must be empty")
+	}
+	// Keys must distinguish IDs that collide byte-wise under naive
+	// encodings.
+	if BodyKey([]hierarchy.GenID{256}) == BodyKey([]hierarchy.GenID{1}) {
+		t.Error("multi-byte IDs must not collide")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	ts := newTestSpace(t)
+	r := &Rule{Body: []hierarchy.GenID{ts.a1}, Head: ts.t5, BodyCount: 10, HitCount: 5, Profit: 10}
+	str := r.String(ts.s)
+	for _, want := range []string{"⟨A,$1⟩", "⟨T,$5⟩", "N=10", "hits=5"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+	def := &Rule{Head: ts.t5}
+	if !def.IsDefault() {
+		t.Error("IsDefault")
+	}
+	if r.IsDefault() {
+		t.Error("non-empty body is not default")
+	}
+}

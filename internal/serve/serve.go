@@ -1,0 +1,243 @@
+// Package serve exposes a built recommender as a small JSON-over-HTTP
+// scoring service (stdlib net/http only): the deployment surface for the
+// models produced by this library. Baskets reference items by name and
+// promotion codes by their index within the item, matching the model-file
+// format of internal/modelio.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"profitmining/internal/core"
+	"profitmining/internal/model"
+)
+
+// Server wraps a recommender with HTTP handlers. The model is immutable
+// and the counters are atomic, so a single instance serves concurrent
+// requests.
+type Server struct {
+	cat *model.Catalog
+	rec *core.Recommender
+
+	recommendations atomic.Int64
+	badRequests     atomic.Int64
+}
+
+// New creates a Server for the given catalog and recommender.
+func New(cat *model.Catalog, rec *core.Recommender) *Server {
+	return &Server{cat: cat, rec: rec}
+}
+
+// Handler returns the HTTP routes:
+//
+//	GET  /healthz     — liveness plus model size
+//	GET  /catalog     — items and promotion codes
+//	GET  /rules?limit — final rules in MPF rank order
+//	POST /recommend   — score a basket (optionally top-K)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.health)
+	mux.HandleFunc("/catalog", s.catalog)
+	mux.HandleFunc("/rules", s.rules)
+	mux.HandleFunc("/recommend", s.recommend)
+	mux.HandleFunc("/metrics", s.metrics)
+	return mux
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recommendations": s.recommendations.Load(),
+		"badRequests":     s.badRequests.Load(),
+		"rules":           s.rec.Stats().RulesFinal,
+	})
+}
+
+// saleJSON is one basket line in a scoring request.
+type saleJSON struct {
+	Item    string  `json:"item"`
+	PromoIx int     `json:"promoIx"`
+	Qty     float64 `json:"qty"`
+}
+
+type recommendRequest struct {
+	Basket []saleJSON `json:"basket"`
+	K      int        `json:"k,omitempty"`
+}
+
+// recommendationJSON is one scored recommendation.
+type recommendationJSON struct {
+	Item    string   `json:"item"`
+	PromoIx int      `json:"promoIx"`
+	Price   float64  `json:"price"`
+	Cost    float64  `json:"cost"`
+	Packing float64  `json:"packing"`
+	Profit  float64  `json:"profitPerSale"`
+	ProfRe  float64  `json:"profRe"`
+	Conf    float64  `json:"confidence"`
+	Rule    string   `json:"rule"`
+	Explain []string `json:"explain,omitempty"`
+}
+
+type recommendResponse struct {
+	Recommendations []recommendationJSON `json:"recommendations"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"rules":  s.rec.Stats().RulesFinal,
+		"items":  s.cat.NumItems(),
+	})
+}
+
+func (s *Server) catalog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type promoJSON struct {
+		PromoIx int     `json:"promoIx"`
+		Price   float64 `json:"price"`
+		Cost    float64 `json:"cost"`
+		Packing float64 `json:"packing"`
+	}
+	type itemJSON struct {
+		Name   string      `json:"name"`
+		Target bool        `json:"target"`
+		Promos []promoJSON `json:"promos"`
+	}
+	var items []itemJSON
+	for _, it := range s.cat.Items() {
+		ij := itemJSON{Name: it.Name, Target: it.Target}
+		for i, pid := range s.cat.Promos(it.ID) {
+			p := s.cat.Promo(pid)
+			ij.Promos = append(ij.Promos, promoJSON{PromoIx: i, Price: p.Price, Cost: p.Cost, Packing: p.Packing})
+		}
+		items = append(items, ij)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"items": items})
+}
+
+func (s *Server) rules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	limit := 50
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			s.fail(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = v
+	}
+	var out []string
+	for i, rule := range s.rec.Rules() {
+		if i == limit {
+			break
+		}
+		out = append(out, rule.String(s.rec.Space()))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rules": out, "total": s.rec.Stats().RulesFinal})
+}
+
+func (s *Server) recommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req recommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badRequests.Add(1)
+		s.fail(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	basket, err := s.decodeBasket(req.Basket)
+	if err != nil {
+		s.badRequests.Add(1)
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.recommendations.Add(1)
+	k := req.K
+	if k <= 0 {
+		k = 1
+	}
+	recs := s.rec.RecommendTopK(basket, k)
+	resp := recommendResponse{}
+	for _, rec := range recs {
+		promo := s.cat.Promo(rec.Promo)
+		ix := 0
+		for i, pid := range s.cat.Promos(rec.Item) {
+			if pid == rec.Promo {
+				ix = i
+			}
+		}
+		resp.Recommendations = append(resp.Recommendations, recommendationJSON{
+			Item:    s.cat.Item(rec.Item).Name,
+			PromoIx: ix,
+			Price:   promo.Price,
+			Cost:    promo.Cost,
+			Packing: promo.Packing,
+			Profit:  promo.Profit(),
+			ProfRe:  rec.Rule.ProfRe(),
+			Conf:    rec.Rule.Conf(),
+			Rule:    rec.Rule.String(s.rec.Space()),
+			Explain: s.rec.Explain(rec),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) decodeBasket(sales []saleJSON) (model.Basket, error) {
+	var basket model.Basket
+	for i, sj := range sales {
+		item, ok := s.cat.ItemByName(sj.Item)
+		if !ok {
+			return nil, fmt.Errorf("basket[%d]: unknown item %q", i, sj.Item)
+		}
+		if s.cat.Item(item).Target {
+			return nil, fmt.Errorf("basket[%d]: %q is a target item; baskets hold non-target sales", i, sj.Item)
+		}
+		promos := s.cat.Promos(item)
+		if sj.PromoIx < 0 || sj.PromoIx >= len(promos) {
+			return nil, fmt.Errorf("basket[%d]: item %q has no promo index %d", i, sj.Item, sj.PromoIx)
+		}
+		qty := sj.Qty
+		if qty == 0 {
+			qty = 1
+		}
+		if qty < 0 {
+			return nil, fmt.Errorf("basket[%d]: negative quantity", i)
+		}
+		basket = append(basket, model.Sale{Item: item, Promo: promos[sj.PromoIx], Qty: qty})
+	}
+	return basket, nil
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

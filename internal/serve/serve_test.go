@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"profitmining/internal/core"
+	"profitmining/internal/datagen"
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/mining"
+)
+
+func newTestServer(t *testing.T) (*datagen.Grocery, *httptest.Server) {
+	t.Helper()
+	g := datagen.NewGrocery(1000, 3)
+	space, err := g.Builder.Compile(hierarchy.Options{MOA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := mining.Mine(space, g.Dataset.Transactions, mining.Options{MinSupport: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := core.Build(space, g.Dataset.Transactions, mined, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(g.Dataset.Catalog, rec).Handler())
+	t.Cleanup(ts.Close)
+	return g, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func TestHealth(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("health = %v", body)
+	}
+	if body["rules"].(float64) <= 0 {
+		t.Error("health should report the rule count")
+	}
+}
+
+func TestRecommendBasket(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/recommend",
+		`{"basket":[{"item":"Beer","promoIx":0,"qty":1}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, body)
+	}
+	recs := body["recommendations"].([]any)
+	if len(recs) != 1 {
+		t.Fatalf("got %d recommendations", len(recs))
+	}
+	first := recs[0].(map[string]any)
+	if first["item"] != "Sunchip" {
+		t.Errorf("beer basket → %v, want Sunchip", first["item"])
+	}
+	if first["rule"] == "" || first["profRe"].(float64) <= 0 {
+		t.Error("recommendation must carry its rule and measures")
+	}
+	if len(first["explain"].([]any)) == 0 {
+		t.Error("recommendation must carry the explanation lineage")
+	}
+}
+
+func TestRecommendTopK(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/recommend",
+		`{"basket":[{"item":"Perfume","promoIx":0}],"k":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	recs := body["recommendations"].([]any)
+	if len(recs) != 2 {
+		t.Fatalf("k=2 returned %d recommendations", len(recs))
+	}
+	a := recs[0].(map[string]any)["item"]
+	b := recs[1].(map[string]any)["item"]
+	if a == b {
+		t.Error("top-K repeated an item")
+	}
+}
+
+func TestRecommendEmptyBasketUsesDefault(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/recommend", `{"basket":[]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(body["recommendations"].([]any)) != 1 {
+		t.Error("empty basket must still get the default recommendation")
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{`},
+		{"unknown item", `{"basket":[{"item":"Ghost","promoIx":0}]}`},
+		{"target in basket", `{"basket":[{"item":"Sunchip","promoIx":0}]}`},
+		{"bad promo index", `{"basket":[{"item":"Beer","promoIx":9}]}`},
+		{"negative qty", `{"basket":[{"item":"Beer","promoIx":0,"qty":-2}]}`},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/recommend", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %v", tc.name, resp.StatusCode, body)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: missing error message", tc.name)
+		}
+	}
+}
+
+func TestMethodChecks(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp, _ := getJSON(t, ts.URL+"/recommend"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /recommend = %d, want 405", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/healthz", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRulesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := getJSON(t, ts.URL+"/rules?limit=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	rules := body["rules"].([]any)
+	if len(rules) == 0 || len(rules) > 3 {
+		t.Errorf("rules = %d entries, want 1..3", len(rules))
+	}
+	if body["total"].(float64) <= 0 {
+		t.Error("total missing")
+	}
+	if resp, _ := getJSON(t, ts.URL+"/rules?limit=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	g, ts := newTestServer(t)
+	resp, body := getJSON(t, ts.URL+"/catalog")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	items := body["items"].([]any)
+	if len(items) != g.Dataset.Catalog.NumItems() {
+		t.Errorf("catalog lists %d items, want %d", len(items), g.Dataset.Catalog.NumItems())
+	}
+	// Every item carries its promos with indexes.
+	first := items[0].(map[string]any)
+	if len(first["promos"].([]any)) == 0 {
+		t.Error("item without promos in catalog response")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	postJSON(t, ts.URL+"/recommend", `{"basket":[{"item":"Beer","promoIx":0}]}`)
+	postJSON(t, ts.URL+"/recommend", `{"basket":[{"item":"Beer","promoIx":0}]}`)
+	postJSON(t, ts.URL+"/recommend", `{bad json`)
+
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := body["recommendations"].(float64); got != 2 {
+		t.Errorf("recommendations = %v, want 2", got)
+	}
+	if got := body["badRequests"].(float64); got != 1 {
+		t.Errorf("badRequests = %v, want 1", got)
+	}
+}
+
+func TestConcurrentScoring(t *testing.T) {
+	_, ts := newTestServer(t)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 30; i++ {
+				resp, err := http.Post(ts.URL+"/recommend", "application/json",
+					strings.NewReader(`{"basket":[{"item":"Bread","promoIx":0}]}`))
+				if err != nil {
+					done <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					done <- errStatus
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type statusError string
+
+func (e statusError) Error() string { return string(e) }
+
+var errStatus error = statusError("unexpected status code")

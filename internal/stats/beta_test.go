@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func absDiff(a, b float64) float64 { return math.Abs(a - b) }
+
+func TestRegIncBetaClosedForms(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0, 0.1, 0.25, 0.5, 0.9, 1} {
+		if got := RegIncBeta(1, 1, x); absDiff(got, x) > 1e-12 {
+			t.Errorf("I_%g(1,1) = %g, want %g", x, got, x)
+		}
+	}
+	// I_x(a,1) = x^a and I_x(1,b) = 1 − (1−x)^b.
+	for _, a := range []float64{0.5, 1, 2, 5, 17} {
+		for _, x := range []float64{0.05, 0.3, 0.5, 0.75, 0.99} {
+			if got, want := RegIncBeta(a, 1, x), math.Pow(x, a); absDiff(got, want) > 1e-12 {
+				t.Errorf("I_%g(%g,1) = %g, want %g", x, a, got, want)
+			}
+			if got, want := RegIncBeta(1, a, x), 1-math.Pow(1-x, a); absDiff(got, want) > 1e-12 {
+				t.Errorf("I_%g(1,%g) = %g, want %g", x, a, got, want)
+			}
+		}
+	}
+	// Symmetry point: I_0.5(a,a) = 0.5.
+	for _, a := range []float64{1, 2, 3.5, 10} {
+		if got := RegIncBeta(a, a, 0.5); absDiff(got, 0.5) > 1e-12 {
+			t.Errorf("I_0.5(%g,%g) = %g, want 0.5", a, a, got)
+		}
+	}
+}
+
+func TestRegIncBetaReflection(t *testing.T) {
+	check := func(a8, b8, x16 uint8) bool {
+		a := 0.5 + float64(a8%40)/4
+		b := 0.5 + float64(b8%40)/4
+		x := float64(x16%101) / 100
+		lhs := RegIncBeta(a, b, x)
+		rhs := 1 - RegIncBeta(b, a, 1-x)
+		return absDiff(lhs, rhs) < 1e-10 && lhs >= -1e-15 && lhs <= 1+1e-15
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBetaMonotoneInX(t *testing.T) {
+	for _, ab := range [][2]float64{{1, 1}, {2, 5}, {5, 2}, {0.5, 3}, {10, 10}} {
+		prev := -1.0
+		for x := 0.0; x <= 1.0001; x += 0.01 {
+			xx := math.Min(x, 1)
+			v := RegIncBeta(ab[0], ab[1], xx)
+			if v < prev-1e-12 {
+				t.Fatalf("I_x(%g,%g) not monotone at x=%g: %g < %g", ab[0], ab[1], xx, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestRegIncBetaPanics(t *testing.T) {
+	for _, tc := range []struct{ a, b, x float64 }{
+		{0, 1, 0.5}, {1, 0, 0.5}, {-1, 1, 0.5}, {1, 1, -0.1}, {1, 1, 1.1}, {1, 1, math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegIncBeta(%g,%g,%g): expected panic", tc.a, tc.b, tc.x)
+				}
+			}()
+			RegIncBeta(tc.a, tc.b, tc.x)
+		}()
+	}
+}
+
+// binomialCDFDirect sums the PMF directly; only usable for small n.
+func binomialCDFDirect(k, n int, p float64) float64 {
+	var sum float64
+	for i := 0; i <= k && i <= n; i++ {
+		sum += binomialPMF(i, n, p)
+	}
+	return sum
+}
+
+func binomialPMF(k, n int, p float64) float64 {
+	lg := func(x float64) float64 { v, _ := math.Lgamma(x); return v }
+	logC := lg(float64(n+1)) - lg(float64(k+1)) - lg(float64(n-k+1))
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+func TestBinomialCDFAgainstDirectSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(30)
+		k := rng.Intn(n + 1)
+		p := rng.Float64()
+		got := BinomialCDF(k, n, p)
+		want := binomialCDFDirect(k, n, p)
+		if absDiff(got, want) > 1e-9 {
+			t.Fatalf("BinomialCDF(%d,%d,%g) = %g, direct = %g", k, n, p, got, want)
+		}
+	}
+}
+
+func TestBinomialCDFEdges(t *testing.T) {
+	if got := BinomialCDF(-1, 10, 0.5); got != 0 {
+		t.Errorf("CDF(-1) = %g, want 0", got)
+	}
+	if got := BinomialCDF(10, 10, 0.5); got != 1 {
+		t.Errorf("CDF(n) = %g, want 1", got)
+	}
+	if got := BinomialCDF(3, 10, 0); got != 1 {
+		t.Errorf("CDF(.., p=0) = %g, want 1", got)
+	}
+	if got := BinomialCDF(3, 10, 1); got != 0 {
+		t.Errorf("CDF(k<n, p=1) = %g, want 0", got)
+	}
+}
+
+func TestPessimisticUpperZeroErrors(t *testing.T) {
+	// Closed form for E = 0: U = 1 − CF^{1/N}. C4.5's canonical example:
+	// U_25%(6, 0) ≈ 0.2063.
+	if got := PessimisticUpper(6, 0, 0.25); absDiff(got, 1-math.Pow(0.25, 1.0/6)) > 1e-12 {
+		t.Errorf("U_25%%(6,0) = %g", got)
+	}
+	if got := PessimisticUpper(6, 0, 0.25); absDiff(got, 0.20630) > 1e-4 {
+		t.Errorf("U_25%%(6,0) = %g, want ≈0.2063", got)
+	}
+}
+
+func TestPessimisticUpperRoundTrip(t *testing.T) {
+	// By definition, BinomialCDF(E, N, U_CF(N,E)) = CF.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(200)
+		e := rng.Intn(n) // e < n so the bound is interior
+		cf := 0.01 + 0.98*rng.Float64()
+		u := PessimisticUpper(n, e, cf)
+		if u <= 0 || u >= 1 {
+			t.Fatalf("U_%g(%d,%d) = %g outside (0,1)", cf, n, e, u)
+		}
+		if got := BinomialCDF(e, n, u); absDiff(got, cf) > 1e-9 {
+			t.Fatalf("CDF(%d,%d,U) = %g, want %g", e, n, got, cf)
+		}
+	}
+}
+
+func TestPessimisticUpperBetaQuantileIdentity(t *testing.T) {
+	// Clopper–Pearson: U is the (1−CF) quantile of Beta(E+1, N−E), i.e.
+	// I_U(E+1, N−E) = 1 − CF.
+	for _, tc := range []struct {
+		n, e int
+		cf   float64
+	}{{10, 2, 0.25}, {100, 5, 0.25}, {50, 10, 0.1}, {7, 3, 0.5}} {
+		u := PessimisticUpper(tc.n, tc.e, tc.cf)
+		if got := RegIncBeta(float64(tc.e+1), float64(tc.n-tc.e), u); absDiff(got, 1-tc.cf) > 1e-9 {
+			t.Errorf("I_U(%d+1,%d-%d) = %g, want %g", tc.e, tc.n, tc.e, got, 1-tc.cf)
+		}
+	}
+}
+
+func TestPessimisticUpperMonotonicity(t *testing.T) {
+	// U grows with the observed error count E…
+	for n := 2; n <= 50; n += 7 {
+		prev := 0.0
+		for e := 0; e < n; e++ {
+			u := PessimisticUpper(n, e, DefaultCF)
+			if u <= prev {
+				t.Fatalf("U(%d,%d) = %g not increasing (prev %g)", n, e, u, prev)
+			}
+			prev = u
+		}
+	}
+	// …and shrinks with the sample size N at a fixed error rate: more
+	// evidence, less pessimism. This is what makes low-support rules
+	// unattractive in the covering-tree pruning.
+	for _, rate := range []float64{0.1, 0.25, 0.5} {
+		prev := 1.0
+		for _, n := range []int{10, 20, 40, 80, 160, 320} {
+			e := int(rate * float64(n))
+			u := PessimisticUpper(n, e, DefaultCF)
+			if u >= prev {
+				t.Fatalf("U(%d, rate %g) = %g not decreasing (prev %g)", n, rate, u, prev)
+			}
+			prev = u
+		}
+	}
+}
+
+func TestPessimisticUpperDominatesObservedRate(t *testing.T) {
+	// The pessimistic limit is always above the observed failure rate E/N.
+	check := func(n16, e16 uint16) bool {
+		n := 1 + int(n16%500)
+		e := int(e16) % (n + 1)
+		u := PessimisticUpper(n, e, DefaultCF)
+		return u >= float64(e)/float64(n)-1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPessimisticUpperSaturation(t *testing.T) {
+	if got := PessimisticUpper(5, 5, 0.25); got != 1 {
+		t.Errorf("U(n,n) = %g, want 1", got)
+	}
+	if got := PessimisticUpper(5, 9, 0.25); got != 1 {
+		t.Errorf("U(n,e>n) = %g, want 1", got)
+	}
+}
+
+func TestPessimisticUpperPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n, e int
+		cf   float64
+	}{{0, 0, 0.25}, {-3, 0, 0.25}, {5, -1, 0.25}, {5, 1, 0}, {5, 1, 1}, {5, 1, -0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PessimisticUpper(%d,%d,%g): expected panic", tc.n, tc.e, tc.cf)
+				}
+			}()
+			PessimisticUpper(tc.n, tc.e, tc.cf)
+		}()
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRegIncBeta checks the numeric contract on arbitrary in-domain
+// arguments: results stay in [0, 1], respect the reflection identity, and
+// never NaN.
+func FuzzRegIncBeta(f *testing.F) {
+	f.Add(1.0, 1.0, 0.5)
+	f.Add(2.0, 5.0, 0.25)
+	f.Add(100.0, 3.0, 0.99)
+	f.Add(0.5, 0.5, 0.0001)
+
+	f.Fuzz(func(t *testing.T, a, b, x float64) {
+		// Clamp into the domain; the fuzzer explores the numeric space,
+		// not the panic paths (covered by unit tests).
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) || math.IsNaN(x) || math.IsInf(x, 0) {
+			return
+		}
+		a = math.Mod(math.Abs(a), 1e4) + 1e-3
+		b = math.Mod(math.Abs(b), 1e4) + 1e-3
+		x = math.Mod(math.Abs(x), 1.0)
+
+		v := RegIncBeta(a, b, x)
+		if math.IsNaN(v) || v < -1e-12 || v > 1+1e-12 {
+			t.Fatalf("RegIncBeta(%g, %g, %g) = %g out of [0,1]", a, b, x, v)
+		}
+		mirror := 1 - RegIncBeta(b, a, 1-x)
+		if math.Abs(v-mirror) > 1e-6 {
+			t.Fatalf("reflection violated at (%g, %g, %g): %g vs %g", a, b, x, v, mirror)
+		}
+	})
+}
+
+// FuzzPessimisticUpper checks the bound's contract for arbitrary counts:
+// within (0, 1], above the observed rate, monotone in e.
+func FuzzPessimisticUpper(f *testing.F) {
+	f.Add(10, 3, 0.25)
+	f.Add(1, 0, 0.25)
+	f.Add(1000, 999, 0.01)
+
+	f.Fuzz(func(t *testing.T, n, e int, cf float64) {
+		if n <= 0 || e < 0 || math.IsNaN(cf) {
+			return
+		}
+		n = n%5000 + 1
+		e = e % (n + 2)
+		cf = math.Mod(math.Abs(cf), 0.98) + 0.01
+
+		u := PessimisticUpper(n, e, cf)
+		if u <= 0 || u > 1 || math.IsNaN(u) {
+			t.Fatalf("U_%g(%d, %d) = %g out of (0,1]", cf, n, e, u)
+		}
+		// Dominance over the observed rate holds in the pessimistic regime
+		// cf ≤ 0.5 (P(X ≤ E) ≥ 1/2 at u = E/N since the binomial median is
+		// within one of the mean); for cf > 0.5 the "upper" limit
+		// legitimately sits below E/N.
+		if rate := float64(e) / float64(n); cf <= 0.5 && u < rate-1e-9 && e < n {
+			t.Fatalf("U_%g(%d, %d) = %g below observed rate %g", cf, n, e, u, rate)
+		}
+		if e+1 <= n {
+			if u2 := PessimisticUpper(n, e+1, cf); u2 < u-1e-12 {
+				t.Fatalf("U not monotone in e at (%d, %d)", n, e)
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Discrete is a sampler over {0, …, n−1} with fixed, possibly non-uniform
+// weights, using inverse-CDF sampling over a precomputed cumulative table.
+// It is deterministic given the *rand.Rand passed to Sample.
+type Discrete struct {
+	cum []float64
+}
+
+// NewDiscrete builds a sampler from non-negative weights, at least one of
+// which must be positive.
+func NewDiscrete(weights []float64) *Discrete {
+	if len(weights) == 0 {
+		panic("stats: NewDiscrete with no weights")
+	}
+	cum := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("stats: negative weight %g at %d", w, i))
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("stats: all weights are zero")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[len(cum)-1] = 1 // guard against rounding
+	return &Discrete{cum: cum}
+}
+
+// Sample draws an index according to the weights.
+func (d *Discrete) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(d.cum, u)
+}
+
+// Prob returns the probability of index i.
+func (d *Discrete) Prob(i int) float64 {
+	if i == 0 {
+		return d.cum[0]
+	}
+	return d.cum[i] - d.cum[i-1]
+}
+
+// Len returns the number of outcomes.
+func (d *Discrete) Len() int { return len(d.cum) }
+
+// ZipfWeights returns n weights following Zipf's law with exponent s:
+// w_i ∝ 1/(i+1)^s for i = 0..n−1.
+func ZipfWeights(n int, s float64) []float64 {
+	if n <= 0 {
+		panic("stats: ZipfWeights with n <= 0")
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}
+
+// NormalWeights returns n weights proportional to the N(mu, sigma) density
+// evaluated at the points 1..n — the discretized normal frequency used for
+// dataset II's target items ("most customers buy target items with the
+// cost around the mean").
+func NormalWeights(n int, mu, sigma float64) []float64 {
+	if n <= 0 || sigma <= 0 {
+		panic(fmt.Sprintf("stats: NormalWeights(%d, %g, %g) out of domain", n, mu, sigma))
+	}
+	w := make([]float64, n)
+	for i := range w {
+		z := (float64(i+1) - mu) / sigma
+		w[i] = math.Exp(-z * z / 2)
+	}
+	return w
+}
+
+// Poisson draws from a Poisson distribution with mean lambda using Knuth's
+// multiplication method (adequate for the small means used by the Quest
+// generator).
+func Poisson(rng *rand.Rand, lambda float64) int {
+	if lambda < 0 {
+		panic(fmt.Sprintf("stats: Poisson(%g) out of domain", lambda))
+	}
+	if lambda == 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// ClampedNormal draws from N(mu, sigma) truncated by resampling to
+// [lo, hi]. It is used for the Quest generator's per-pattern corruption
+// levels.
+func ClampedNormal(rng *rand.Rand, mu, sigma, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("stats: ClampedNormal bounds [%g, %g] inverted", lo, hi))
+	}
+	for i := 0; i < 64; i++ {
+		v := mu + sigma*rng.NormFloat64()
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	// The window is far in the tails; fall back to clamping.
+	return math.Min(hi, math.Max(lo, mu))
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDiscreteProbabilities(t *testing.T) {
+	d := NewDiscrete([]float64{5, 1, 4})
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	var sum float64
+	for i := 0; i < d.Len(); i++ {
+		sum += d.Prob(i)
+	}
+	if absDiff(sum, 1) > 1e-12 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	if absDiff(d.Prob(0), 0.5) > 1e-12 || absDiff(d.Prob(1), 0.1) > 1e-12 || absDiff(d.Prob(2), 0.4) > 1e-12 {
+		t.Errorf("Prob = %g %g %g", d.Prob(0), d.Prob(1), d.Prob(2))
+	}
+}
+
+func TestDiscreteSampleFrequencies(t *testing.T) {
+	// The paper's dataset I ratio: the $2 target occurs five times as
+	// frequently as the $10 target.
+	d := NewDiscrete([]float64{5, 1})
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	counts := make([]int, 2)
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng)]++
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 4.8 || ratio > 5.2 {
+		t.Errorf("frequency ratio = %g, want ≈5", ratio)
+	}
+}
+
+func TestDiscreteZeroWeightNeverSampled(t *testing.T) {
+	d := NewDiscrete([]float64{1, 0, 1})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		if d.Sample(rng) == 1 {
+			t.Fatal("sampled zero-weight outcome")
+		}
+	}
+}
+
+func TestDiscretePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		w    []float64
+	}{
+		{"empty", nil},
+		{"negative", []float64{1, -1}},
+		{"all zero", []float64{0, 0}},
+		{"NaN", []float64{math.NaN()}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			NewDiscrete(tc.w)
+		}()
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(4, 1)
+	want := []float64{1, 0.5, 1.0 / 3, 0.25}
+	for i := range want {
+		if absDiff(w[i], want[i]) > 1e-12 {
+			t.Errorf("ZipfWeights[%d] = %g, want %g", i, w[i], want[i])
+		}
+	}
+	// s = 0 degenerates to uniform.
+	for _, v := range ZipfWeights(5, 0) {
+		if v != 1 {
+			t.Errorf("ZipfWeights(s=0) = %g, want 1", v)
+		}
+	}
+}
+
+func TestNormalWeightsShape(t *testing.T) {
+	w := NormalWeights(10, 5.5, 1.8)
+	// Symmetric around the mean between items 5 and 6.
+	for i := 0; i < 5; i++ {
+		if absDiff(w[i], w[9-i]) > 1e-12 {
+			t.Errorf("NormalWeights not symmetric: w[%d]=%g, w[%d]=%g", i, w[i], 9-i, w[9-i])
+		}
+	}
+	// Unimodal: increasing to the mode then decreasing.
+	for i := 1; i <= 4; i++ {
+		if w[i] <= w[i-1] {
+			t.Errorf("NormalWeights not increasing before mode at %d", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if w[i] >= w[i-1] {
+			t.Errorf("NormalWeights not decreasing after mode at %d", i)
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, lambda := range []float64{0.5, 2, 4, 10} {
+		const n = 50000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			v := float64(Poisson(rng, lambda))
+			sum += v
+			sq += v * v
+		}
+		mean := sum / n
+		variance := sq/n - mean*mean
+		if absDiff(mean, lambda) > 0.1*lambda+0.05 {
+			t.Errorf("Poisson(%g) mean = %g", lambda, mean)
+		}
+		if absDiff(variance, lambda) > 0.15*lambda+0.1 {
+			t.Errorf("Poisson(%g) variance = %g", lambda, variance)
+		}
+	}
+	if Poisson(rng, 0) != 0 {
+		t.Error("Poisson(0) must be 0")
+	}
+}
+
+func TestClampedNormalBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		v := ClampedNormal(rng, 0.5, 0.1, 0, 1)
+		if v < 0 || v > 1 {
+			t.Fatalf("ClampedNormal out of bounds: %g", v)
+		}
+	}
+	// A window far in the tails falls back to the nearest bound.
+	v := ClampedNormal(rng, 0, 0.001, 10, 11)
+	if v != 10 {
+		t.Errorf("far-tail ClampedNormal = %g, want 10", v)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1, 3, 3.9, 9.9, -5, 15} {
+		h.Add(v)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d, want 7", h.N())
+	}
+	// Bins: [0,2): 0.5, 1, and clamped -5 → 3; [2,4): 3, 3.9 → 2;
+	// [8,10): 9.9 and clamped 15 → 2.
+	want := []int64{3, 2, 0, 0, 2}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Errorf("Counts[%d] = %d, want %d", i, h.Counts[i], c)
+		}
+	}
+	if absDiff(h.BinCenter(0), 1) > 1e-12 || absDiff(h.BinCenter(4), 9) > 1e-12 {
+		t.Errorf("BinCenter = %g, %g", h.BinCenter(0), h.BinCenter(4))
+	}
+	if h.String() == "" {
+		t.Error("String should render bars")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, tc := range []struct {
+		min, max float64
+		bins     int
+	}{{0, 1, 0}, {1, 1, 3}, {2, 1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%g,%g,%d): expected panic", tc.min, tc.max, tc.bins)
+				}
+			}()
+			NewHistogram(tc.min, tc.max, tc.bins)
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || absDiff(s.Mean, 2.5) > 1e-12 || absDiff(s.Median, 2.5) > 1e-12 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	// Sample std of 1..4 = sqrt(5/3).
+	if absDiff(s.Std, math.Sqrt(5.0/3)) > 1e-12 {
+		t.Errorf("Std = %g", s.Std)
+	}
+	odd := Summarize([]float64{5, 1, 9})
+	if odd.Median != 5 {
+		t.Errorf("odd median = %g", odd.Median)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty Summarize = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Median != 7 {
+		t.Errorf("single Summarize = %+v", one)
+	}
+}
