@@ -22,6 +22,7 @@ import (
 
 	"profitmining"
 	"profitmining/internal/eval"
+	"profitmining/internal/floats"
 )
 
 func main() {
@@ -151,7 +152,7 @@ func runDataset(name string, txns, items int, sups []float64, rangeSup float64, 
 
 	fmt.Printf("-- Figure %s(d): hit rate by profit range (minsup %.3g%%) --\n", fig, rangeSup*100)
 	ranged := eval.FilterPoints(points, func(p profitmining.SweepPoint) bool {
-		return !p.Behavior.Enabled() && p.MinSupport == rangeSup
+		return !p.Behavior.Enabled() && floats.Eq(p.MinSupport, rangeSup)
 	})
 	fmt.Println(eval.FormatRangeHitRates(ranged))
 
@@ -206,9 +207,12 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
+// contains reports whether v is one of the sweep-grid values. The
+// tolerant comparison keeps grid membership robust when support levels
+// are recomputed (e.g. percent -> fraction round trips).
 func contains(xs []float64, v float64) bool {
 	for _, x := range xs {
-		if x == v {
+		if floats.Eq(x, v) {
 			return true
 		}
 	}
@@ -216,7 +220,7 @@ func contains(xs []float64, v float64) bool {
 }
 
 func safeRatio(a, b float64) float64 {
-	if b == 0 {
+	if b == 0 { //lint:allow floatcmp -- exact guard for the division below; any nonzero denominator is valid
 		return 0
 	}
 	return a / b

@@ -1,0 +1,28 @@
+// Profitlint is profitmining's project-specific static checker: the
+// invariants the compiler cannot enforce (exact float comparison bans,
+// the single-home MPF rank order, determinism of the mining core,
+// never-dropped errors) become build failures instead of flaky
+// benchmarks. See internal/analyzers for the individual checks.
+//
+// Run standalone:
+//
+//	go run ./cmd/profitlint ./...
+//
+// or through the go command's vet driver, which adds build caching and
+// analysis of test files:
+//
+//	go install ./cmd/profitlint
+//	go vet -vettool=$(go env GOPATH)/bin/profitlint ./...
+package main
+
+import (
+	"profitmining/internal/analysis"
+	"profitmining/internal/analyzers"
+)
+
+// suite is the registered analyzer set; cmd/profitlint's test pins it.
+var suite = analyzers.All()
+
+func main() {
+	analysis.Main(suite...)
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRegisteredSuite pins the exact analyzer set profitlint ships:
+// adding or removing a check must be a conscious, test-visible change.
+func TestRegisteredSuite(t *testing.T) {
+	var names []string
+	for _, a := range suite {
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run function", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		names = append(names, a.Name)
+	}
+	want := []string{"detguard", "droppederr", "floatcmp", "rankorder"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("registered analyzers = %v, want %v", names, want)
+	}
+}

@@ -1,0 +1,207 @@
+// Package analysis is a self-contained, dependency-free re-creation of
+// the core of golang.org/x/tools/go/analysis, sized for this repository.
+// It exists because profitmining vendors no third-party code: the module
+// has an empty dependency graph, and the project-specific invariants we
+// want machine-checked (see internal/analyzers) need only the standard
+// library's go/ast, go/types and go/importer.
+//
+// The shape deliberately mirrors x/tools so the analyzers in
+// internal/analyzers could be ported to the real framework by changing
+// one import path: an Analyzer has a Name, Doc and Run(*Pass), a Pass
+// carries the type-checked package plus a Report sink, and diagnostics
+// are positioned messages.
+//
+// One extension over x/tools is built in: line-based suppression. A
+// comment of the form
+//
+//	//lint:allow <name>[,<name>...] -- <justification>
+//
+// on the flagged line, or alone on the line directly above it, silences
+// the named analyzers at that position. The " -- justification" part is
+// mandatory: a suppression without a written reason does not suppress,
+// so every escape hatch in the tree documents the invariant it relies
+// on. This is the reviewed, grep-able alternative to weakening a check.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags and
+	// //lint:allow comments. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the help text: first sentence is the summary.
+	Doc string
+
+	// Run applies the analyzer to one package and reports
+	// diagnostics via pass.Reportf. The error return is for
+	// analyzer malfunctions, not findings.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives diagnostics that survived suppression.
+	Report func(Diagnostic)
+
+	suppress suppressionIndex
+}
+
+// A Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a finding unless a //lint:allow comment covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppress.allows(p.Analyzer.Name, position) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// suppressionIndex maps filename -> line -> analyzer names allowed there.
+type suppressionIndex map[string]map[int]map[string]bool
+
+// allowRE matches a suppression comment. The justification after " -- "
+// must be non-empty for the suppression to take effect.
+var allowRE = regexp.MustCompile(`^//lint:allow\s+([A-Za-z0-9_,]+)\s+--\s+(\S.*)$`)
+
+// buildSuppressionIndex scans every comment in the files. A trailing
+// suppression (code on the same line) covers exactly its own line; a
+// suppression alone on a line covers exactly the following line. The
+// two placements never bleed into neighbouring statements.
+func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, f := range files {
+		code := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				position := fset.Position(c.Pos())
+				line := position.Line + 1
+				if code[position.Line] {
+					line = position.Line
+				}
+				byLine := idx[position.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					idx[position.Filename] = byLine
+				}
+				if byLine[line] == nil {
+					byLine[line] = map[string]bool{}
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					byLine[line][name] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// codeLines reports which lines of the file contain non-comment
+// program text, by marking the start and end lines of every AST node.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+func (idx suppressionIndex) allows(analyzer string, pos token.Position) bool {
+	return idx[pos.Filename][pos.Line][analyzer]
+}
+
+// A Package is a loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// NewTypesInfo allocates a types.Info with every map populated, the
+// configuration both the loader and the unitchecker use.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Run applies the analyzers to the package and returns the surviving
+// diagnostics in file/position order.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	suppress := buildSuppressionIndex(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+			suppress:  suppress,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Pkg.Path(), err)
+		}
+	}
+	sortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool { return diagLess(fset, diags[i], diags[j]) })
+}
+
+func diagLess(fset *token.FileSet, a, b Diagnostic) bool {
+	pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	if pa.Column != pb.Column {
+		return pa.Column < pb.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestSuppressionRequiresJustification(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 //lint:allow check -- documented reason
+	_ = 2 //lint:allow check
+	_ = 3 //lint:allow other -- wrong analyzer name
+}
+`)
+	idx := buildSuppressionIndex(fset, files)
+	at := func(line int) bool { return idx.allows("check", token.Position{Filename: "x.go", Line: line}) }
+	if !at(4) {
+		t.Error("justified suppression on line 4 should suppress")
+	}
+	if at(5) {
+		t.Error("suppression without ' -- reason' on line 5 must not suppress")
+	}
+	if at(6) {
+		t.Error("suppression naming a different analyzer must not apply to check")
+	}
+}
+
+func TestSuppressionCoversFollowingLine(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	//lint:allow check -- the next line is exempt
+	_ = 1
+	_ = 2
+}
+`)
+	idx := buildSuppressionIndex(fset, files)
+	if !idx.allows("check", token.Position{Filename: "x.go", Line: 5}) {
+		t.Error("line directly below a suppression comment should be covered")
+	}
+	if idx.allows("check", token.Position{Filename: "x.go", Line: 6}) {
+		t.Error("coverage must stop after one line")
+	}
+}
+
+func TestSuppressionMultipleNames(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+var x = 1 //lint:allow alpha,beta -- shared justification
+`)
+	idx := buildSuppressionIndex(fset, files)
+	pos := token.Position{Filename: "x.go", Line: 3}
+	if !idx.allows("alpha", pos) || !idx.allows("beta", pos) {
+		t.Error("comma-separated analyzer list should suppress every named analyzer")
+	}
+	if idx.allows("gamma", pos) {
+		t.Error("unnamed analyzer must not be suppressed")
+	}
+}
+
+func TestRunReportsInPositionOrder(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+var a = 1
+var b = 2
+`)
+	// An analyzer that reports declarations in reverse source order;
+	// Run must hand them back sorted by position.
+	reverse := &Analyzer{
+		Name: "reverse",
+		Doc:  "test analyzer",
+		Run: func(pass *Pass) error {
+			var decls []ast.Decl
+			for _, f := range pass.Files {
+				decls = append(decls, f.Decls...)
+			}
+			for i := len(decls) - 1; i >= 0; i-- {
+				pass.Reportf(decls[i].Pos(), "decl %d", i)
+			}
+			return nil
+		},
+	}
+	diags, err := Run(&Package{Fset: fset, Files: files, TypesInfo: NewTypesInfo()}, []*Analyzer{reverse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(diags))
+	}
+	if fset.Position(diags[0].Pos).Line > fset.Position(diags[1].Pos).Line {
+		t.Error("diagnostics not sorted by position")
+	}
+}

@@ -1,0 +1,257 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages under a testdata directory and checks its diagnostics
+// against expectations written in the fixtures themselves, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := a.Profit == b.Profit // want `floatcmp: direct ==`
+//
+// Each `// want` comment carries one or more quoted or backquoted
+// regular expressions that must match, in order, the messages of the
+// diagnostics reported on that line. Lines without a want comment must
+// produce no diagnostics — which is how fixtures prove that a
+// //lint:allow suppression is honoured: the violating line carries the
+// suppression instead of a want.
+package analysistest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"profitmining/internal/analysis"
+)
+
+// Run loads each fixture package rooted at testdata/src/<path> and
+// applies the analyzer, comparing diagnostics against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		root:    filepath.Join(testdata, "src"),
+		pkgs:    map[string]*fixturePkg{},
+		exports: map[string]string{},
+	}
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		check(t, ld.fset, pkg, a)
+	}
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	pkgs    map[string]*fixturePkg
+	exports map[string]string // stdlib path -> export data file
+}
+
+// load parses and type-checks testdata/src/<path>. Imports resolve to
+// sibling fixture directories first and to the real standard library
+// (via `go list -export` build-cache export data) otherwise.
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: importerFunc(ld.importPkg)}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	pkg := &fixturePkg{files: files, pkg: tpkg, info: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (ld *loader) importPkg(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(ld.root, path)); err == nil && fi.IsDir() {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.pkg, nil
+	}
+	return ld.importStdlib(path)
+}
+
+// importStdlib reads real export data for a standard-library package,
+// asking the go command (offline, build-cache backed) where it lives.
+func (ld *loader) importStdlib(path string) (*types.Package, error) {
+	imp := importer.ForCompiler(ld.fset, "gc", func(p string) (io.ReadCloser, error) {
+		file, ok := ld.exports[p]
+		if !ok {
+			out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "--", p).Output()
+			if err != nil {
+				return nil, fmt.Errorf("go list -export %s: %v", p, err)
+			}
+			file = string(bytes.TrimSpace(out))
+			if file == "" {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			ld.exports[p] = file
+		}
+		return os.Open(file)
+	})
+	return imp.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// wantRE extracts the expectation list from a comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// check runs the analyzer on one fixture package and diffs diagnostics
+// against the // want comments.
+func check(t *testing.T, fset *token.FileSet, pkg *fixturePkg, a *analysis.Analyzer) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				position := fset.Position(c.Pos())
+				patterns, err := parseWantPatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", position, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", position, p, err)
+					}
+					wants = append(wants, &expectation{file: position.Filename, line: position.Line, re: re})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(&analysis.Package{
+		Fset:      fset,
+		Files:     pkg.files,
+		Pkg:       pkg.pkg,
+		TypesInfo: pkg.info,
+	}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		position := fset.Position(d.Pos)
+		if w := matchWant(wants, position, d.Message); w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", position, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, pos token.Position, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWantPatterns splits `"re1" "re2"` / backquoted forms into the
+// individual regexp sources.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"', '`':
+			prefix, err := firstQuoted(s)
+			if err != nil {
+				return nil, err
+			}
+			unq, err := strconv.Unquote(prefix)
+			if err != nil {
+				return nil, fmt.Errorf("unquoting %s: %v", prefix, err)
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[len(prefix):])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, found %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}
+
+func firstQuoted(s string) (string, error) {
+	quote := s[0]
+	if quote == '`' {
+		if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+			return s[:i+2], nil
+		}
+		return "", fmt.Errorf("unterminated raw string in %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1], nil
+		}
+	}
+	return "", fmt.Errorf("unterminated string in %q", s)
+}

@@ -1,0 +1,77 @@
+// Package analyzers holds profitmining's project-specific static
+// checks. Each analyzer encodes an invariant the compiler cannot see
+// but the paper's correctness argument depends on:
+//
+//   - floatcmp: profit arithmetic never uses exact ==/!= on floats.
+//   - rankorder: the MPF rank order of Definition 6 is compared in one
+//     place only, internal/rules.
+//   - detguard: mining and recommendation are deterministic — no global
+//     rand, no wall clock, no unordered map iteration feeding output.
+//   - droppederr: error values are never silently discarded.
+//
+// The checks run in CI via `go vet -vettool` (see cmd/profitlint) so a
+// violating change fails the build instead of surfacing as a flaky
+// benchmark or an irreproducible model. Intentional exceptions carry a
+// `//lint:allow <name> -- <why>` comment; the justification is
+// mandatory (see internal/analysis).
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"profitmining/internal/analysis"
+)
+
+// All returns the full profitlint suite in deterministic order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Detguard,
+		Droppederr,
+		Floatcmp,
+		Rankorder,
+	}
+}
+
+// isTestFile reports whether the file containing pos is a _test.go
+// file. Analyzers that guard production invariants skip tests, which
+// legitimately pin exact values and orderings.
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// pkgPathMatches reports whether path denotes one of the given package
+// path suffixes. Matching by suffix keeps the analyzers testable from
+// GOPATH-style fixtures (where "internal/rules" is the whole path) and
+// correct in the module (where it is "profitmining/internal/rules").
+func pkgPathMatches(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil
+// for calls through function-typed variables and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isErrorType reports whether t is exactly the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,108 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"profitmining/internal/analysis"
+)
+
+// Detguard polices the deterministic core of the system: the packages
+// that mine, rank and apply rules (internal/core, internal/mining,
+// internal/rules). Cut-optimal pruning and MPF tie-breaking both depend
+// on generation order, so any hidden nondeterminism in these packages
+// changes which rules survive — the same model inputs must always yield
+// the same model. It flags three sources:
+//
+//   - package-level math/rand functions (rand.Intn, rand.Shuffle, ...),
+//     which draw from the process-global generator; randomized code
+//     must thread an explicitly seeded *rand.Rand instead
+//     (rand.New/rand.NewSource are fine — they build one);
+//   - time.Now, which makes a compute path depend on the wall clock;
+//   - ranging over a map while accumulating results with append: map
+//     iteration order is randomized per run, so anything collected that
+//     way is shuffled unless it is re-sorted by a total order. Sites
+//     that do re-sort state it with //lint:allow detguard -- <order
+//     restored how>, which is the reviewable proof obligation.
+var Detguard = &analysis.Analyzer{
+	Name: "detguard",
+	Doc:  "flags nondeterminism sources (global math/rand, time.Now, map-order-dependent collection) in the deterministic mining/ranking core",
+	Run:  runDetguard,
+}
+
+// detguardScope lists the package-path suffixes the analyzer covers.
+var detguardScope = []string{"internal/core", "internal/mining", "internal/rules"}
+
+// detRandOK are math/rand package functions that merely construct
+// seeded generators and are therefore deterministic.
+var detRandOK = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func runDetguard(pass *analysis.Pass) error {
+	if path := pass.Pkg.Path(); !pkgPathMatches(path, detguardScope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Methods (e.g. (*rand.Rand).Intn on a seeded generator) are fine;
+	// only package-level functions touch hidden global state.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !detRandOK[fn.Name()] {
+			pass.Reportf(call.Pos(), "detguard: %s.%s uses the process-global random generator; thread an explicitly seeded *rand.Rand through this compute path", fn.Pkg().Name(), fn.Name())
+		}
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(), "detguard: time.Now in a deterministic compute path; take the timestamp at the edge and pass it in (or //lint:allow detguard -- <why the clock cannot affect results>)")
+		}
+	}
+}
+
+// checkMapRange flags `for k := range m { ... append ... }` where m is
+// a map: the appended order is the randomized map order.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	appends := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					appends = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if appends {
+		pass.Reportf(rng.Pos(), "detguard: collecting from a map range; iteration order is randomized per run — sort the result by a total order and say so with //lint:allow detguard -- <order restored how>")
+	}
+}

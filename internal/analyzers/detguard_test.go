@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"profitmining/internal/analysis/analysistest"
+	"profitmining/internal/analyzers"
+)
+
+func TestDetguard(t *testing.T) {
+	// internal/core is in the deterministic scope: global rand, wall
+	// clock and map-order collection are caught, seeded generators and
+	// the justified suppression are accepted. edge is outside the
+	// scope: the same constructs pass without comment.
+	analysistest.Run(t, "testdata", analyzers.Detguard, "internal/core", "edge")
+}

@@ -1,0 +1,110 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"profitmining/internal/analysis"
+)
+
+// Droppederr flags error values discarded into the blank identifier:
+//
+//	_ = enc.Encode(v)
+//	n, _ := strconv.Atoi(s)
+//
+// A dropped error in the serving or persistence layer turns an I/O
+// failure into silently wrong output (the bug class fixed in
+// internal/serve's writeJSON). The only exemptions are a small
+// allowlist of callees documented to never return a non-nil error
+// (strings.Builder, bytes.Buffer writers) and sites carrying a
+// //lint:allow droppederr -- <why the error cannot matter> comment.
+// Bare call statements that ignore all results are vet/errcheck
+// territory and out of scope here: the blank assignment is the
+// explicit "I saw the error and threw it away" form, so it is the one
+// that must justify itself.
+var Droppederr = &analysis.Analyzer{
+	Name: "droppederr",
+	Doc:  "flags error values assigned to the blank identifier outside a never-fails allowlist",
+	Run:  runDroppederr,
+}
+
+// droppedErrAllowlist holds fully-qualified callees whose error result
+// is documented to always be nil, keyed by (*types.Func).FullName.
+var droppedErrAllowlist = map[string]bool{
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*strings.Builder).WriteString": true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+	"(*bytes.Buffer).WriteString":    true,
+}
+
+func runDroppederr(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			checkDroppedErr(pass, assign)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDroppedErr(pass *analysis.Pass, assign *ast.AssignStmt) {
+	// Form 1: n LHS, one call RHS returning a tuple.
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypesInfo.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(assign.Lhs) {
+			return
+		}
+		for i, lhs := range assign.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) && !allowedCallee(pass, call) {
+				pass.Reportf(lhs.Pos(), "droppederr: error result of %s discarded with _; handle it or add //lint:allow droppederr -- <why the error cannot matter>", calleeName(pass, call))
+			}
+		}
+		return
+	}
+	// Form 2: parallel assignment, value i goes to blank i.
+	if len(assign.Rhs) != len(assign.Lhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		rhs := assign.Rhs[i]
+		if !isErrorType(pass.TypesInfo.TypeOf(rhs)) {
+			continue
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && allowedCallee(pass, call) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "droppederr: error value discarded with _; handle it or add //lint:allow droppederr -- <why the error cannot matter>")
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func allowedCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	return fn != nil && droppedErrAllowlist[fn.FullName()]
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass.TypesInfo, call); fn != nil {
+		return fn.FullName()
+	}
+	return "call"
+}

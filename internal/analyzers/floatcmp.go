@@ -1,0 +1,73 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"profitmining/internal/analysis"
+)
+
+// Floatcmp flags exact equality tests on floating-point values in
+// non-test code. Profit, Prof_re and U_CF are all accumulated float64
+// sums, so two mathematically equal values routinely differ in the last
+// ulp; a raw == or != silently turns that rounding noise into a branch.
+// Callers should use floats.Eq / floats.EqTol (internal/floats), or
+// justify exactness with //lint:allow floatcmp -- <why>. The canonical
+// justified exception is a comparator: rank orders need exact
+// comparison to stay strict weak orders (an epsilon-equality is not
+// transitive), which is precisely why Definition 6 comparisons live
+// only in internal/rules.
+var Floatcmp = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= and switch comparisons on floating-point values; use internal/floats or a justified //lint:allow",
+	Run:  runFloatcmp,
+}
+
+func runFloatcmp(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloatExpr(pass, n.X) && !isFloatExpr(pass, n.Y) {
+					return true
+				}
+				// A comparison folded at compile time (both sides
+				// constant) cannot pick up runtime rounding noise.
+				if isConstExpr(pass, n.X) && isConstExpr(pass, n.Y) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "floatcmp: direct %s comparison of floating-point values; use floats.Eq/floats.EqTol (internal/floats) or add //lint:allow floatcmp -- <why exact comparison is sound>", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloatExpr(pass, n.Tag) {
+					pass.Reportf(n.Pos(), "floatcmp: switch on a floating-point value compares with exact ==; rewrite with explicit epsilon comparisons")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloatExpr reports whether the expression's type is (or has
+// underlying) float32/float64.
+func isFloatExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstExpr reports whether the expression is a compile-time constant.
+func isConstExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

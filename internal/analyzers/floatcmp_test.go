@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"profitmining/internal/analysis/analysistest"
+	"profitmining/internal/analyzers"
+)
+
+func TestFloatcmp(t *testing.T) {
+	// floatcmpfix: caught violations, negatives, a suppressed line and
+	// a test file that must be skipped. internal/rules: the comparator
+	// suppression pattern used by the real rules package.
+	analysistest.Run(t, "testdata", analyzers.Floatcmp, "floatcmpfix", "internal/rules")
+}

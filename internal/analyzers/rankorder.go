@@ -1,0 +1,152 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"profitmining/internal/analysis"
+)
+
+// Rankorder enforces that the four-level MPF rank order of Definition 6
+// (Prof_re, then support, then body size, then generation order) has a
+// single source of truth: rules.Outranks and rules.SortByRank. Outside
+// internal/rules it flags
+//
+//   - comparisons whose *both* operands are rule measures (Profit,
+//     HitCount, BodyCount, Order, len(Body), or the ProfRe/Conf/Supp
+//     methods) — ad-hoc reimplementations of the rank order, which
+//     historically drift by dropping a tie-break level, and
+//   - sort calls over []*rules.Rule (sort.Slice & friends,
+//     slices.SortFunc & friends) — any ordering of rules that is not
+//     rules.SortByRank.
+//
+// Comparing a single measure against a threshold (minimum support,
+// minimum confidence) is legitimate filtering, not ordering, and is
+// deliberately not flagged.
+var Rankorder = &analysis.Analyzer{
+	Name: "rankorder",
+	Doc:  "flags ad-hoc orderings of rules.Rule values outside internal/rules; Definition 6 lives in rules.Outranks/rules.SortByRank only",
+	Run:  runRankorder,
+}
+
+// ruleMeasureFields are the Rule fields that enter the MPF rank order.
+var ruleMeasureFields = map[string]bool{
+	"Profit":    true,
+	"HitCount":  true,
+	"BodyCount": true,
+	"Order":     true,
+}
+
+// ruleMeasureMethods are the Rule methods deriving rank-order measures.
+var ruleMeasureMethods = map[string]bool{
+	"ProfRe": true,
+	"Conf":   true,
+	"Supp":   true,
+}
+
+// ruleSorters are the ordering entry points checked for rule slices.
+var ruleSorters = map[string]bool{
+	"sort.Slice":            true,
+	"sort.SliceStable":      true,
+	"sort.SliceIsSorted":    true,
+	"slices.Sort":           true,
+	"slices.SortFunc":       true,
+	"slices.SortStableFunc": true,
+	"slices.IsSortedFunc":   true,
+}
+
+func runRankorder(pass *analysis.Pass) error {
+	if isRulesPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !isComparisonOp(n.Op) {
+					return true
+				}
+				if isRuleMeasure(pass, n.X) && isRuleMeasure(pass, n.Y) {
+					pass.Reportf(n.Pos(), "rankorder: ad-hoc comparison of rule measures reimplements the Definition 6 rank order; use rules.Outranks (or //lint:allow rankorder -- <why this is not an ordering>)")
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil || len(n.Args) == 0 {
+					return true
+				}
+				if !ruleSorters[fn.Pkg().Name()+"."+fn.Name()] {
+					return true
+				}
+				if isRuleSlice(pass.TypesInfo.TypeOf(n.Args[0])) {
+					pass.Reportf(n.Pos(), "rankorder: sorting a rule slice with %s.%s; rules.SortByRank is the only rank order (or //lint:allow rankorder -- <why a different order is sound>)", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isComparisonOp(op token.Token) bool {
+	switch op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// isRulesPackage reports whether path is the canonical home of the rank
+// order ("rules" covers the test fixtures).
+func isRulesPackage(path string) bool {
+	return path == "rules" || pkgPathMatches(path, "internal/rules")
+}
+
+// isRuleType reports whether t is rules.Rule or *rules.Rule.
+func isRuleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Rule" && isRulesPackage(named.Obj().Pkg().Path())
+}
+
+// isRuleSlice reports whether t is a slice of rules.Rule or *rules.Rule.
+func isRuleSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isRuleType(s.Elem())
+}
+
+// isRuleMeasure reports whether the expression reads a rank-order
+// measure off a rules.Rule value: a measure field selector, a measure
+// method call, or len() of the rule body.
+func isRuleMeasure(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return isRuleType(pass.TypesInfo.TypeOf(e.X)) && ruleMeasureFields[e.Sel.Name]
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.SelectorExpr:
+			return isRuleType(pass.TypesInfo.TypeOf(fun.X)) && ruleMeasureMethods[fun.Sel.Name]
+		case *ast.Ident:
+			if fun.Name == "len" && len(e.Args) == 1 {
+				if sel, ok := ast.Unparen(e.Args[0]).(*ast.SelectorExpr); ok {
+					return isRuleType(pass.TypesInfo.TypeOf(sel.X)) && sel.Sel.Name == "Body"
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"profitmining/internal/analysis/analysistest"
+	"profitmining/internal/analyzers"
+)
+
+func TestRankorder(t *testing.T) {
+	// rankorderfix: ad-hoc orderings caught, thresholds and the blessed
+	// entry points accepted, one justified suppression. internal/rules:
+	// the analyzer is silent inside the rank order's home package even
+	// though it sorts rule slices and compares measures.
+	analysistest.Run(t, "testdata", analyzers.Rankorder, "rankorderfix", "internal/rules")
+}

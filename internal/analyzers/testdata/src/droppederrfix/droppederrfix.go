@@ -1,0 +1,36 @@
+// Package droppederrfix is a droppederr fixture: blank-discarded
+// errors are flagged; handled errors, non-error discards, allowlisted
+// never-fail writers and justified suppressions are not.
+package droppederrfix
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 1, errors.New("boom") }
+
+func dropped() int {
+	_ = mayFail()              // want `droppederr: error value discarded with _`
+	n, _ := pair()             // want `droppederr: error result of droppederrfix.pair discarded with _`
+	v, _ := strconv.Atoi("12") // want `droppederr: error result of strconv.Atoi discarded with _`
+	x, _ := 1, mayFail()       // want `droppederr: error value discarded with _`
+	return n + v + x
+}
+
+func handled(m map[string]int) int {
+	n, err := pair()
+	if err != nil {
+		n = 0
+	}
+	v, ok := m["k"] // non-error discard below: bool and int are fair game
+	_ = ok
+	_, width := 1, 2
+	var sb strings.Builder
+	_, _ = sb.WriteString("never fails") // allowlisted: Builder writes cannot return an error
+	_ = mayFail()                        //lint:allow droppederr -- fixture: best-effort cleanup, failure is unactionable here
+	return n + v + width + sb.Len()
+}

@@ -1,0 +1,12 @@
+// Package edge sits outside detguard's deterministic scope: the
+// serving/tooling layers may read the clock and draw global randomness.
+package edge
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(10))
+}

@@ -1,0 +1,49 @@
+// Package floatcmpfix is a floatcmp fixture: exact float comparisons
+// are flagged, constant folds / ints / epsilon helpers / justified
+// suppressions are not.
+package floatcmpfix
+
+func eq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+type meters float64
+
+func comparisons(a, b float64, i, j int, m1, m2 meters) int {
+	hits := 0
+	if a == b { // want `floatcmp: direct == comparison of floating-point values`
+		hits++
+	}
+	if a != b { // want `floatcmp: direct != comparison of floating-point values`
+		hits++
+	}
+	if a == 0 { // want `floatcmp: direct == comparison of floating-point values`
+		hits++
+	}
+	if m1 == m2 { // want `floatcmp: direct == comparison of floating-point values`
+		hits++
+	}
+	switch a { // want `floatcmp: switch on a floating-point value`
+	case 1.0:
+		hits++
+	}
+
+	const half = 0.5
+	if half == 0.5 { // constant fold: not flagged
+		hits++
+	}
+	if i == j { // ints: not flagged
+		hits++
+	}
+	if eq(a, b) { // epsilon helper: not flagged
+		hits++
+	}
+	if a == b { //lint:allow floatcmp -- fixture: exact equality is the documented contract here
+		hits++
+	}
+	if a == b { //lint:allow floatcmp without the mandatory justification, so: // want `floatcmp: direct == comparison of floating-point values`
+		hits++
+	}
+	return hits
+}

@@ -1,0 +1,6 @@
+package floatcmpfix
+
+// Test files may pin exact float values; floatcmp must stay quiet here.
+func inTestFile(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,44 @@
+// Package core is a detguard fixture standing in for the deterministic
+// compute packages: global rand, wall clock and map-order-dependent
+// collection are flagged; seeded generators, order-insensitive folds
+// and justified suppressions are not.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func nondeterministic(m map[string]int) []string {
+	n := rand.Intn(10)                 // want `detguard: rand.Intn uses the process-global random generator`
+	rand.Shuffle(n, func(i, j int) {}) // want `detguard: rand.Shuffle uses the process-global random generator`
+	t := time.Now()                    // want `detguard: time.Now in a deterministic compute path`
+	_ = t
+
+	var out []string
+	for k := range m { // want `detguard: collecting from a map range`
+		out = append(out, k)
+	}
+	return out
+}
+
+func deterministic(m map[string]int, stamp time.Time) []string {
+	rng := rand.New(rand.NewSource(42)) // constructing a seeded generator is fine
+	_ = rng.Intn(10)                    // drawing from it is fine: it is explicit state
+	_ = stamp.Unix()                    // timestamps passed in from the edge are fine
+
+	total := 0
+	for _, v := range m { // order-insensitive fold: not flagged
+		total += v
+	}
+
+	var keys []string
+	//lint:allow detguard -- iteration order is discarded: keys are sorted into a total order below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	keys = append(keys, string(rune('a'+total%26)))
+	return keys
+}

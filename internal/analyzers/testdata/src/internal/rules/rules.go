@@ -1,0 +1,50 @@
+// Package rules is a miniature stand-in for profitmining/internal/rules
+// used by the analyzer fixtures: same type name, same measure fields
+// and methods, and — because this package IS the rank order's home —
+// rankorder must stay silent about the comparisons below.
+package rules
+
+import "sort"
+
+type Rule struct {
+	Body []int
+	Head int
+
+	BodyCount int
+	HitCount  int
+	Profit    float64
+	Order     int
+}
+
+func (r *Rule) ProfRe() float64 {
+	if r.BodyCount == 0 {
+		return 0
+	}
+	return r.Profit / float64(r.BodyCount)
+}
+
+func (r *Rule) Conf() float64 {
+	if r.BodyCount == 0 {
+		return 0
+	}
+	return float64(r.HitCount) / float64(r.BodyCount)
+}
+
+// Outranks is the Definition 6 order: inside this package the measure
+// comparisons are the single permitted implementation.
+func Outranks(a, b *Rule) bool {
+	if a.ProfRe() != b.ProfRe() { //lint:allow floatcmp -- rank comparators need exact comparison to stay strict weak orders
+		return a.ProfRe() > b.ProfRe()
+	}
+	if a.HitCount != b.HitCount {
+		return a.HitCount > b.HitCount
+	}
+	if len(a.Body) != len(b.Body) {
+		return len(a.Body) < len(b.Body)
+	}
+	return a.Order < b.Order
+}
+
+func SortByRank(rs []*Rule) {
+	sort.Slice(rs, func(i, j int) bool { return Outranks(rs[i], rs[j]) })
+}

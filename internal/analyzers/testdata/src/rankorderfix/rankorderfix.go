@@ -1,0 +1,49 @@
+// Package rankorderfix is a rankorder fixture: outside internal/rules,
+// comparing two rule measures or sorting a rule slice is flagged;
+// thresholds, non-rule sorts and justified suppressions are not.
+package rankorderfix
+
+import (
+	"sort"
+
+	"internal/rules"
+)
+
+func reimplementations(a, b *rules.Rule, rs []*rules.Rule) bool {
+	if a.Profit > b.Profit { // want `rankorder: ad-hoc comparison of rule measures`
+		return true
+	}
+	if a.ProfRe() > b.ProfRe() { // want `rankorder: ad-hoc comparison of rule measures`
+		return true
+	}
+	if a.HitCount != b.HitCount { // want `rankorder: ad-hoc comparison of rule measures`
+		return true
+	}
+	if len(a.Body) < len(b.Body) { // want `rankorder: ad-hoc comparison of rule measures`
+		return true
+	}
+	sort.Slice(rs, func(i, j int) bool { // want `rankorder: sorting a rule slice with sort.Slice`
+		return rs[i].Order < rs[j].Order // want `rankorder: ad-hoc comparison of rule measures`
+	})
+	sort.SliceStable(rs, func(i, j int) bool { // want `rankorder: sorting a rule slice with sort.SliceStable`
+		return rules.Outranks(rs[i], rs[j])
+	})
+	return false
+}
+
+func legitimate(a *rules.Rule, rs []*rules.Rule, minConf float64) int {
+	kept := 0
+	if a.Conf() >= minConf { // threshold filter, not an ordering
+		kept++
+	}
+	if a.HitCount > 10 { // threshold filter, not an ordering
+		kept++
+	}
+	rules.SortByRank(rs) // the blessed entry point
+	xs := []int{3, 1, 2}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // non-rule slice
+	if a.Order == rs[0].Order {                                  //lint:allow rankorder -- fixture: identity check on the unique Order id, not an ordering
+		kept++
+	}
+	return kept + xs[0]
+}

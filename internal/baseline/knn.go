@@ -165,6 +165,7 @@ func (knn *KNN) Recommend(basket model.Basket) (model.ItemID, model.PromoID) {
 	var bestKey headKey
 	bestVote := math.Inf(-1)
 	for k, v := range votes {
+		//lint:allow floatcmp -- argmax tie-break over map iteration: exact equality plus the key order makes the winner independent of iteration order
 		if v > bestVote || (v == bestVote && (k.item < bestKey.item || (k.item == bestKey.item && k.promo < bestKey.promo))) {
 			bestKey, bestVote = k, v
 		}
@@ -187,14 +188,14 @@ func (knn *KNN) nearest(q []model.ItemID) []neighbor {
 			w = knn.idf[it] // items unseen in training weigh 0
 		}
 		qn += w * w
-		if w == 0 {
+		if w == 0 { //lint:allow floatcmp -- w is exactly 0 by assignment (unseen item), never the result of arithmetic
 			continue
 		}
 		for _, ti := range knn.index[it] {
 			overlap[ti] += w * w
 		}
 	}
-	if len(overlap) == 0 || qn == 0 {
+	if len(overlap) == 0 || qn == 0 { //lint:allow floatcmp -- exact guard for the division by qn below; any nonzero norm is a valid denominator
 		return nil
 	}
 	qn = math.Sqrt(qn)
@@ -204,14 +205,14 @@ func (knn *KNN) nearest(q []model.ItemID) []neighbor {
 		if knn.norm != nil {
 			tn = knn.norm[ti]
 		}
-		if tn == 0 {
+		if tn == 0 { //lint:allow floatcmp -- exact guard for the division by tn below; any nonzero norm is a valid denominator
 			continue
 		}
 		sim := dot / (qn * tn)
 		cands = append(cands, neighbor{txn: ti, sim: sim})
 	}
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].sim != cands[j].sim {
+		if cands[i].sim != cands[j].sim { //lint:allow floatcmp -- sort comparators need exact comparison to stay strict weak orders
 			return cands[i].sim > cands[j].sim
 		}
 		return cands[i].txn < cands[j].txn

@@ -35,6 +35,7 @@ func TrainMPI(cat *model.Catalog, txns []model.Transaction) (*MPI, error) {
 	first := true
 	for k, v := range totals {
 		if first || v > bestTotal ||
+			//lint:allow floatcmp -- argmax tie-break over map iteration: exact equality plus the key order makes the winner independent of iteration order
 			(v == bestTotal && (k.item < best.item || (k.item == best.item && k.promo < best.promo))) {
 			best, bestTotal = k, v
 			first = false

@@ -93,7 +93,7 @@ func Build(space *hierarchy.Space, txns []model.Transaction, mined *mining.Resul
 	if space == nil || mined == nil || mined.Default == nil {
 		return nil, fmt.Errorf("core: nil space or mining result")
 	}
-	if cfg.CF == 0 {
+	if cfg.CF == 0 { //lint:allow floatcmp -- exact zero is the unset-field sentinel; any explicit CF is validated below
 		cfg.CF = stats.DefaultCF
 	}
 	if cfg.CF <= 0 || cfg.CF >= 1 {
@@ -145,9 +145,14 @@ func Build(space *hierarchy.Space, txns []model.Transaction, mined *mining.Resul
 		byItem[item] = append(byItem[item], rule)
 	}
 	var alt []*rules.Rule
+	//lint:allow detguard -- group order is discarded: alt is re-sorted into the total MPF order below
 	for _, group := range byItem {
 		alt = append(alt, rules.RemoveDominated(space, group)...)
 	}
+	// Sort the concatenated groups back into rank order so the matcher
+	// layout — and anything that serializes the alternates, such as
+	// model persistence — is identical across runs.
+	rules.SortByRank(alt)
 
 	r := &Recommender{
 		space:      space,
@@ -251,6 +256,7 @@ func (r *Recommender) RecommendTopK(basket model.Basket, k int) []Recommendation
 	delete(bestPerItem, r.space.ItemOf(first.Head))
 
 	rest := make([]*rules.Rule, 0, len(bestPerItem))
+	//lint:allow detguard -- iteration order is discarded: rest is sorted by the total MPF order below
 	for _, rule := range bestPerItem {
 		rest = append(rest, rule)
 	}

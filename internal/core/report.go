@@ -64,11 +64,20 @@ func (r *Recommender) Report() string {
 	walk(r.tree)
 
 	items := make([]model.ItemID, 0, len(perItem))
+	//lint:allow detguard -- iteration order is discarded: items are sorted by the total order below
 	for item := range perItem {
 		items = append(items, item)
 	}
 	sort.Slice(items, func(i, j int) bool {
-		return perItem[items[i]].projected > perItem[items[j]].projected
+		// Tie-break on the item id: equal projected profits are common
+		// (e.g. several targets with zero projection), and without a
+		// total order the report would shuffle between runs because the
+		// items were collected from a map.
+		pi, pj := perItem[items[i]].projected, perItem[items[j]].projected
+		if pi != pj { //lint:allow floatcmp -- sort comparators need exact comparison to stay strict weak orders
+			return pi > pj
+		}
+		return items[i] < items[j]
 	})
 	b.WriteString("recommended targets (by projected profit):\n")
 	cat := r.space.Catalog()

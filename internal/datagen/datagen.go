@@ -83,10 +83,10 @@ func (cfg Config) defaults() Config {
 	if cfg.NumPrices == 0 {
 		cfg.NumPrices = 4
 	}
-	if cfg.PriceStep == 0 {
+	if cfg.PriceStep == 0 { //lint:allow floatcmp -- exact zero is the unset-field sentinel for config defaults
 		cfg.PriceStep = 0.10
 	}
-	if cfg.NonTargetMaxCost == 0 {
+	if cfg.NonTargetMaxCost == 0 { //lint:allow floatcmp -- exact zero is the unset-field sentinel for config defaults
 		cfg.NonTargetMaxCost = 100
 	}
 	return cfg
@@ -215,7 +215,7 @@ func Generate(cfg Config) (*model.Dataset, error) {
 
 	// Uncorrelated datasets keep the plain Quest semantics: one generator
 	// over the whole item universe, targets drawn independently.
-	if cfg.TargetCorrelation == 0 {
+	if cfg.TargetCorrelation == 0 { //lint:allow floatcmp -- exact zero selects plain Quest semantics; any explicit correlation, however small, is honoured
 		raw, err := quest.Generate(cfg.Quest)
 		if err != nil {
 			return nil, err

@@ -49,7 +49,7 @@ func ReadBaskets(r io.Reader, opts BasketOptions) (*model.Dataset, error) {
 	if opts.NumPrices < 1 {
 		return nil, fmt.Errorf("dataio: NumPrices %d must be at least 1", opts.NumPrices)
 	}
-	if opts.PriceStep == 0 {
+	if opts.PriceStep == 0 { //lint:allow floatcmp -- exact zero is the unset-option sentinel; explicit steps are validated below
 		opts.PriceStep = 0.10
 	}
 	if opts.PriceStep <= 0 {

@@ -37,11 +37,11 @@ func (b Behavior) Label() string {
 		return ""
 	}
 	near := ""
-	if b.NearX != 0 || b.NearY != 0 {
+	if b.NearX != 0 || b.NearY != 0 { //lint:allow floatcmp -- formatting configured literals: exact zero means the component was never set
 		near = fmt.Sprintf("(x=%g,y=%g%%)", b.NearX, b.NearY*100)
 	}
 	far := ""
-	if b.FarX != 0 || b.FarY != 0 {
+	if b.FarX != 0 || b.FarY != 0 { //lint:allow floatcmp -- formatting configured literals: exact zero means the component was never set
 		far = fmt.Sprintf("(x=%g,y=%g%%)", b.FarX, b.FarY*100)
 	}
 	if near != "" && far != "" {
@@ -101,7 +101,7 @@ type Metrics struct {
 // Gain is the paper's headline metric: generated profit over recorded
 // profit in the validation transactions.
 func (m Metrics) Gain() float64 {
-	if m.RecordedProfit == 0 {
+	if m.RecordedProfit == 0 { //lint:allow floatcmp -- exact guard for the division below; any nonzero recorded profit is a valid denominator
 		return 0
 	}
 	return m.GeneratedProfit / m.RecordedProfit
@@ -142,7 +142,7 @@ func Evaluate(cat *model.Catalog, validation []model.Transaction, rec Recommend,
 		opts.Quantity = model.SavingMOA{}
 	}
 	maxProfit := opts.MaxSaleProfit
-	if maxProfit == 0 {
+	if maxProfit == 0 { //lint:allow floatcmp -- exact zero is the unset-option sentinel; the cap is derived from data instead
 		for i := range validation {
 			if p := cat.SaleProfit(validation[i].Target); p > maxProfit {
 				maxProfit = p
@@ -343,7 +343,7 @@ func TargetProfitHistogram(ds *model.Dataset, bins int) *stats.Histogram {
 			maxP = p
 		}
 	}
-	if maxP == 0 {
+	if maxP == 0 { //lint:allow floatcmp -- exact zero only occurs when no transaction carries profit; widen to a unit histogram
 		maxP = 1
 	}
 	h := stats.NewHistogram(0, maxP*1.0001, bins)

@@ -1,0 +1,42 @@
+// Package floats provides the tolerance-aware float comparisons that
+// profit arithmetic must use instead of ==/!= (enforced by the
+// floatcmp analyzer, see internal/analyzers). Profit, Prof_re and
+// U_CF are accumulated float64 sums, so mathematically equal values
+// routinely differ in the last few ulps; these helpers make the
+// tolerance explicit and auditable.
+//
+// The one place exact comparison remains correct is inside rank
+// comparators (rules.Outranks): an epsilon-equality is not transitive,
+// so using it there would break the strict weak order sort.Slice
+// requires. Those sites carry //lint:allow floatcmp justifications.
+package floats
+
+import "math"
+
+// DefaultTol is the relative tolerance used by Eq: roughly 10^6 ulps
+// at magnitude 1, far wider than the drift of any profit accumulation
+// in this codebase while far narrower than any real profit difference.
+const DefaultTol = 1e-9
+
+// Eq reports whether a and b are equal within DefaultTol.
+func Eq(a, b float64) bool { return EqTol(a, b, DefaultTol) }
+
+// EqTol reports whether |a-b| <= tol·max(1, |a|, |b|): absolute
+// tolerance near zero, relative tolerance at large magnitudes. NaN is
+// equal to nothing; infinities are equal only to themselves.
+func EqTol(a, b, tol float64) bool {
+	if a == b { //lint:allow floatcmp -- fast path and the only correct way to compare infinities
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // an infinity is only ever equal to itself
+	}
+	scale := 1.0
+	if aa := math.Abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := math.Abs(b); ab > scale {
+		scale = ab
+	}
+	return math.Abs(a-b) <= tol*scale
+}

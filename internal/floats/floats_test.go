@@ -1,0 +1,40 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	tests := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},           // rounding noise
+		{1e9, 1e9 * (1 + 1e-12), true}, // relative: scales with magnitude
+		{0, 1e-12, true},               // absolute near zero
+		{1, 1.0001, false},
+		{0, 1e-6, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), math.MaxFloat64, false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 0, false},
+	}
+	for _, tc := range tests {
+		if got := Eq(tc.a, tc.b); got != tc.want {
+			t.Errorf("Eq(%g, %g) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEqTol(t *testing.T) {
+	if !EqTol(100, 101, 0.02) {
+		t.Error("EqTol(100, 101, 0.02) should hold: 1 <= 0.02*101")
+	}
+	if EqTol(100, 103, 0.02) {
+		t.Error("EqTol(100, 103, 0.02) should fail: 3 > 0.02*103")
+	}
+}

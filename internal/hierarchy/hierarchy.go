@@ -241,7 +241,7 @@ func (b *Builder) Compile(opts Options) (*Space, error) {
 }
 
 func promoLabel(p model.PromoCode) string {
-	if p.Packing == 1 {
+	if p.Packing == 1 { //lint:allow floatcmp -- Packing is a unit count stored as float64; exactly 1 means a single-unit promo label
 		return fmt.Sprintf("$%.4g", p.Price)
 	}
 	return fmt.Sprintf("$%.4g/%.4g-pack", p.Price, p.Packing)

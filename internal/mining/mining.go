@@ -269,6 +269,7 @@ func (m *miner) emitDefault() {
 	best := 0
 	for h := 1; h < len(stats); h++ {
 		if stats[h].profit > stats[best].profit ||
+			//lint:allow floatcmp -- argmax tie-break: an epsilon tie would make the winner depend on the tolerance rather than on hits
 			(stats[h].profit == stats[best].profit && stats[h].hits > stats[best].hits) {
 			best = h
 		}

@@ -52,22 +52,22 @@ func (cfg Config) Defaults() Config {
 	if cfg.NumItems == 0 {
 		cfg.NumItems = 1000
 	}
-	if cfg.AvgTxnLen == 0 {
+	if cfg.AvgTxnLen == 0 { //lint:allow floatcmp -- exact zero is the unset-field sentinel for config defaults
 		cfg.AvgTxnLen = 10
 	}
-	if cfg.AvgPatternLen == 0 {
+	if cfg.AvgPatternLen == 0 { //lint:allow floatcmp -- exact zero is the unset-field sentinel for config defaults
 		cfg.AvgPatternLen = 4
 	}
 	if cfg.NumPatterns == 0 {
 		cfg.NumPatterns = 2000
 	}
-	if cfg.Correlation == 0 {
+	if cfg.Correlation == 0 { //lint:allow floatcmp -- exact zero is the unset-field sentinel for config defaults
 		cfg.Correlation = 0.5
 	}
-	if cfg.CorruptionMean == 0 {
+	if cfg.CorruptionMean == 0 { //lint:allow floatcmp -- exact zero is the unset-field sentinel for config defaults
 		cfg.CorruptionMean = 0.5
 	}
-	if cfg.CorruptionStd == 0 {
+	if cfg.CorruptionStd == 0 { //lint:allow floatcmp -- exact zero is the unset-field sentinel for config defaults
 		cfg.CorruptionStd = math.Sqrt(0.1)
 	}
 	return cfg

@@ -85,7 +85,7 @@ func (r *Rule) String(s *hierarchy.Space) string {
 // support, then smaller body, then earlier generation.
 func Outranks(a, b *Rule) bool {
 	ap, bp := a.ProfRe(), b.ProfRe()
-	if ap != bp {
+	if ap != bp { //lint:allow floatcmp -- rank comparators need exact comparison: epsilon-equality is not transitive and would break the strict weak order
 		return ap > bp
 	}
 	if a.HitCount != b.HitCount {
@@ -112,7 +112,7 @@ func SortByRank(rs []*Rule) {
 	}
 	sort.Slice(entries, func(i, j int) bool {
 		a, b := &entries[i], &entries[j]
-		if a.profRe != b.profRe {
+		if a.profRe != b.profRe { //lint:allow floatcmp -- must order exactly as Outranks does; see the comparator note there
 			return a.profRe > b.profRe
 		}
 		if a.r.HitCount != b.r.HitCount {

@@ -8,6 +8,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -221,7 +222,7 @@ func (s *Server) decodeBasket(sales []saleJSON) (model.Basket, error) {
 			return nil, fmt.Errorf("basket[%d]: item %q has no promo index %d", i, sj.Item, sj.PromoIx)
 		}
 		qty := sj.Qty
-		if qty == 0 {
+		if qty == 0 { //lint:allow floatcmp -- exact zero is the "field absent in JSON" sentinel; any explicit quantity is taken literally
 			qty = 1
 		}
 		if qty < 0 {
@@ -237,7 +238,20 @@ func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	// Marshal before touching the ResponseWriter so an encoding failure
+	// can still become a 500: once WriteHeader runs, the status is gone.
+	body, err := json.Marshal(v)
+	if err != nil {
+		log.Printf("serve: encoding %T response: %v", v, err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		body = []byte(`{"error":"internal encoding error"}`)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+	}
+	if _, err := w.Write(body); err != nil {
+		// Headers are already on the wire; all that is left is to log.
+		log.Printf("serve: writing response: %v", err)
+	}
 }

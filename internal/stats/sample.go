@@ -92,7 +92,7 @@ func Poisson(rng *rand.Rand, lambda float64) int {
 	if lambda < 0 {
 		panic(fmt.Sprintf("stats: Poisson(%g) out of domain", lambda))
 	}
-	if lambda == 0 {
+	if lambda == 0 { //lint:allow floatcmp -- exact degenerate Poisson(0); any positive rate takes the sampling loop
 		return 0
 	}
 	l := math.Exp(-lambda)
