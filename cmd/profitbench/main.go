@@ -12,10 +12,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -37,6 +40,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		knnK     = flag.Int("k", 5, "kNN neighbor count")
 		csvDir   = flag.String("csv", "", "also write raw sweep points as CSV into this directory")
+		par      = flag.Int("parallel", 0, "per-build worker count (0 = one per CPU, 1 = serial; identical output either way)")
+
+		parCheck   = flag.Bool("parcheck", false, "instead of the figure sweep, build serial vs parallel, verify byte-identical models and report timings")
+		parWorkers = flag.Int("parworkers", 4, "parallel-build worker count for -parcheck")
+		parOut     = flag.String("parout", "BENCH_parallel.json", "where -parcheck writes its JSON report")
 	)
 	flag.Parse()
 
@@ -57,20 +65,91 @@ func main() {
 		fail(fmt.Errorf("unknown dataset %q", *dataset))
 	}
 
+	if *parCheck {
+		runParCheck(names[0], *txns, *items, sups[0], *maxLen, *seed, *parWorkers, *parOut)
+		return
+	}
+
 	for _, name := range names {
-		runDataset(name, *txns, *items, sups, *rangeSup, *folds, *maxLen, *seed, *knnK, *csvDir)
+		runDataset(name, *txns, *items, sups, *rangeSup, *folds, *maxLen, *seed, *knnK, *par, *csvDir)
 	}
 }
 
-func runDataset(name string, txns, items int, sups []float64, rangeSup float64, folds, maxLen int, seed int64, knnK int, csvDir string) {
-	fig := "3"
-	if name == "II" {
-		fig = "4"
-	}
-	fmt.Printf("==============================================================\n")
-	fmt.Printf("Dataset %s  (|T|=%d, |I|=%d, %d-fold CV; paper Figure %s)\n", name, txns, items, folds, fig)
-	fmt.Printf("==============================================================\n\n")
+// parReport is the schema of the -parcheck JSON artifact consumed by CI.
+type parReport struct {
+	Dataset              string  `json:"dataset"`
+	Txns                 int     `json:"txns"`
+	Items                int     `json:"items"`
+	MinSupport           float64 `json:"minSupport"`
+	Workers              int     `json:"workers"`
+	GOMAXPROCS           int     `json:"gomaxprocs"`
+	SerialBuildSeconds   float64 `json:"serialBuildSeconds"`
+	ParallelBuildSeconds float64 `json:"parallelBuildSeconds"`
+	Speedup              float64 `json:"speedup"`
+	Identical            bool    `json:"identical"`
+}
 
+// runParCheck builds the same model twice — strictly serial and with the
+// requested worker count — and verifies the serialized models are
+// byte-identical. Divergence is a hard failure (exit 1); the timings are
+// informational, since the achievable speedup depends on the host's CPU
+// count.
+func runParCheck(name string, txns, items int, minsup float64, maxLen int, seed int64, workers int, out string) {
+	ds := genDataset(name, txns, items, seed)
+	build := func(parallelism int) (*profitmining.Recommender, float64, []byte) {
+		start := time.Now()
+		rec, err := profitmining.Build(ds, profitmining.Options{
+			MinSupport:  minsup,
+			MaxBodyLen:  maxLen,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			fail(err)
+		}
+		secs := time.Since(start).Seconds()
+		var buf bytes.Buffer
+		if err := profitmining.WriteModel(&buf, ds.Catalog, nil, rec); err != nil {
+			fail(err)
+		}
+		return rec, secs, buf.Bytes()
+	}
+
+	recSerial, serialSecs, serialBytes := build(1)
+	_, parSecs, parBytes := build(workers)
+
+	rep := parReport{
+		Dataset:              name,
+		Txns:                 txns,
+		Items:                items,
+		MinSupport:           minsup,
+		Workers:              workers,
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		SerialBuildSeconds:   serialSecs,
+		ParallelBuildSeconds: parSecs,
+		Speedup:              safeRatio(serialSecs, parSecs),
+		Identical:            bytes.Equal(serialBytes, parBytes),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("parcheck: dataset %s |T|=%d |I|=%d minsup %g, %d rules\n",
+		name, txns, items, minsup, recSerial.Stats().RulesFinal)
+	fmt.Printf("parcheck: serial %.2fs, %d workers %.2fs (%.2fx on %d CPUs); report: %s\n",
+		serialSecs, workers, parSecs, rep.Speedup, rep.GOMAXPROCS, out)
+	if !rep.Identical {
+		fail(fmt.Errorf("parallel build (%d workers) diverged from the serial model", workers))
+	}
+	fmt.Println("parcheck: parallel model byte-identical to serial")
+}
+
+// genDataset generates synthetic dataset I or II at the given scale.
+func genDataset(name string, txns, items int, seed int64) *profitmining.Dataset {
 	q := profitmining.QuestConfig{NumTransactions: txns, NumItems: items, Seed: seed}
 	var ds *profitmining.Dataset
 	var err error
@@ -82,6 +161,19 @@ func runDataset(name string, txns, items int, sups []float64, rangeSup float64, 
 	if err != nil {
 		fail(err)
 	}
+	return ds
+}
+
+func runDataset(name string, txns, items int, sups []float64, rangeSup float64, folds, maxLen int, seed int64, knnK, par int, csvDir string) {
+	fig := "3"
+	if name == "II" {
+		fig = "4"
+	}
+	fmt.Printf("==============================================================\n")
+	fmt.Printf("Dataset %s  (|T|=%d, |I|=%d, %d-fold CV; paper Figure %s)\n", name, txns, items, folds, fig)
+	fmt.Printf("==============================================================\n\n")
+
+	ds := genDataset(name, txns, items, seed)
 	spaces := profitmining.FlatSpaces(ds.Catalog)
 
 	// Figure (e): profit distribution of target sales — cheap, print
@@ -105,7 +197,7 @@ func runDataset(name string, txns, items int, sups []float64, rangeSup float64, 
 		},
 		Folds:  folds,
 		Seed:   seed,
-		Config: eval.VariantConfig{MaxBodyLen: maxLen, K: knnK},
+		Config: eval.VariantConfig{MaxBodyLen: maxLen, K: knnK, Parallelism: par},
 	})
 	if err != nil {
 		fail(err)

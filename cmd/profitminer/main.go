@@ -29,6 +29,7 @@ func main() {
 		demo    = flag.Int("demo", 0, "recommend-and-explain for the first N transactions")
 		save    = flag.String("save", "", "write the built model to this file (servable by profitserve)")
 		report  = flag.Bool("report", false, "print the model summary report")
+		par     = flag.Int("parallel", 0, "build worker count (0 = one per CPU, 1 = serial; identical output either way)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -56,6 +57,7 @@ func main() {
 		BinaryProfit:   *binary,
 		DisablePruning: *noPrune,
 		Hierarchy:      hb,
+		Parallelism:    *par,
 	}
 	if *buying {
 		opts.Quantity = profitmining.BuyingMOA{}

@@ -3,6 +3,7 @@ package core
 import (
 	"profitmining/internal/hierarchy"
 	"profitmining/internal/model"
+	"profitmining/internal/par"
 	"profitmining/internal/rules"
 	"profitmining/internal/stats"
 )
@@ -84,8 +85,12 @@ func (e *pessimisticEvaluator) Projected(r *rules.Rule, cover []int32) float64 {
 // incrementally-filled Matcher answers each parent query as a subset
 // search over the rule's body expansion ("rules more general than r" =
 // "rules whose body ⊆ ExpandBody(body(r))"). Covers are assigned by MPF
-// over the training transactions.
-func buildCoveringTree(space *hierarchy.Space, rs []*rules.Rule, txns []model.Transaction) *Node {
+// over the training transactions, sharded across workers: each worker
+// matches with its own Matcher and emits (node, txn) pairs in
+// transaction order, and shards are committed in ascending shard order,
+// so every Cover list is the same ascending index sequence the serial
+// walk produces.
+func buildCoveringTree(space *hierarchy.Space, rs []*rules.Rule, txns []model.Transaction, workers int) *Node {
 	nodes := make([]*Node, len(rs))
 	var root *Node
 	for i, r := range rs {
@@ -120,16 +125,58 @@ func buildCoveringTree(space *hierarchy.Space, rs []*rules.Rule, txns []model.Tr
 		gen.Insert(n.Rule)
 	}
 
-	// MPF cover assignment.
-	m := rules.NewMatcher(rs)
-	for ti := range txns {
-		expanded := space.ExpandBasket(txns[ti].NonTarget)
-		if best := m.Best(expanded); best != nil {
-			node := ruleNode[best]
-			node.Cover = append(node.Cover, int32(ti))
+	// MPF cover assignment. A Matcher is read-only after construction but
+	// its trie walk is the hot loop, so each worker builds its own from
+	// the shared rule list (lazily: a worker that never claims a shard
+	// never pays for one).
+	type coverPair struct {
+		node *Node
+		txn  int32
+	}
+	matchers := make([]*rules.Matcher, workers)
+	par.Ordered(workers, len(txns),
+		func(worker, _, lo, hi int) []coverPair {
+			m := matchers[worker]
+			if m == nil {
+				m = rules.NewMatcher(rs)
+				matchers[worker] = m
+			}
+			var pairs []coverPair
+			for ti := lo; ti < hi; ti++ {
+				expanded := space.ExpandBasket(txns[ti].NonTarget)
+				if best := m.Best(expanded); best != nil {
+					pairs = append(pairs, coverPair{ruleNode[best], int32(ti)})
+				}
+			}
+			return pairs
+		},
+		func(_ int, pairs []coverPair) {
+			for _, p := range pairs {
+				p.node.Cover = append(p.node.Cover, p.txn)
+			}
+		})
+	return root
+}
+
+// projectTree computes Projected = eval.Projected(rule, own cover) for
+// every node of the tree, fanning the per-node evaluations out over the
+// worker pool. Each evaluation reads only immutable shared state and
+// writes only its own node, so the results are schedule-independent.
+// pruneCutOptimal requires this precomputation.
+func projectTree(root *Node, eval CoverEvaluator, workers int) {
+	var nodes []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		nodes = append(nodes, n)
+		for _, c := range n.Children {
+			walk(c)
 		}
 	}
-	return root
+	walk(root)
+	par.For(workers, len(nodes), func(i int) {
+		n := nodes[i]
+		n.Projected = eval.Projected(n.Rule, n.Cover)
+	})
 }
 
 // pruneCutOptimal performs the bottom-up traversal of Section 4.2 with the
@@ -139,8 +186,11 @@ func buildCoveringTree(space *hierarchy.Space, rs []*rules.Rule, txns []model.Tr
 // subtree is pruned (≥ rather than > keeps the optimal cut as small as
 // possible, Definition 9). It returns the subtree's merged cover and its
 // best projected profit, leaving the tree modified in place.
+//
+// Every node's Projected must already hold Prof_pr over its own cover
+// (see projectTree); only the merged-cover leaf evaluations — which
+// depend on the children's results — run here, serially.
 func pruneCutOptimal(n *Node, eval CoverEvaluator) (cover []int32, best float64) {
-	n.Projected = eval.Projected(n.Rule, n.Cover)
 	if len(n.Children) == 0 {
 		return n.Cover, n.Projected
 	}

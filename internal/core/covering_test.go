@@ -172,6 +172,7 @@ func TestPruneMatchesBruteForceOptimalCut(t *testing.T) {
 		}
 
 		pruned := cloneTree(root)
+		projectTree(pruned, eval, 1)
 		_, got := pruneCutOptimal(pruned, eval)
 
 		if math.Abs(got-bestVal) > 1e-9 {
@@ -196,6 +197,7 @@ func TestPruneTiePrefersSmallerCut(t *testing.T) {
 	}
 	// Leaf(root) = 5; tree = 5 (root 1 + children 2+2). Tie → prune.
 	evalTie := tieEval{leaf: 5, perNode: map[int]float64{0: 1, 1: 2, 2: 2}}
+	projectTree(root, evalTie, 1)
 	_, best := pruneCutOptimal(root, evalTie)
 	if len(root.Children) != 0 {
 		t.Error("tie must prune (optimal cut as small as possible)")
@@ -230,6 +232,7 @@ func TestPruneKeepsProfitableSubtree(t *testing.T) {
 		root.Children = append(root.Children, c)
 	}
 	eval := tieEval{leaf: 5, perNode: map[int]float64{0: 2, 1: 2, 2: 2}} // tree = 6 > leaf 5
+	projectTree(root, eval, 1)
 	_, best := pruneCutOptimal(root, eval)
 	if len(root.Children) != 2 {
 		t.Error("profitable subtree must not be pruned")

@@ -78,6 +78,7 @@ func TestPaperFigure2Cuts(t *testing.T) {
 		leaf: map[int]float64{0: 1, 1: 1, 2: 100, 5: 1},
 		node: map[int]float64{0: 5, 1: 5, 2: 5, 3: 5, 4: 5, 5: 5, 6: 5, 7: 5, 8: 5},
 	}
+	projectTree(a, eval, 1)
 	pruneCutOptimal(a, eval)
 	var leavesOf []string
 	for _, n := range leaves(a) {

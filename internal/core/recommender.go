@@ -16,6 +16,7 @@ import (
 	"profitmining/internal/hierarchy"
 	"profitmining/internal/mining"
 	"profitmining/internal/model"
+	"profitmining/internal/par"
 	"profitmining/internal/rules"
 	"profitmining/internal/stats"
 )
@@ -42,6 +43,14 @@ type Config struct {
 	// covering tree is built — the R-interest filter of [SA95] adapted to
 	// Prof_re (see rules.FilterInteresting). 0 disables it.
 	MinInterest float64
+
+	// Parallelism bounds the worker pool used for covering-tree
+	// construction (MPF cover assignment and per-node profit projection).
+	// 0 (default) uses one worker per available CPU; 1 runs strictly
+	// serial. Every setting yields byte-identical recommenders. When
+	// Parallelism != 1, Quantity must be safe for concurrent use (the
+	// built-in models are stateless).
+	Parallelism int
 }
 
 // PruneMode selects whether Build prunes the covering tree.
@@ -102,6 +111,10 @@ func Build(space *hierarchy.Space, txns []model.Transaction, mined *mining.Resul
 	if cfg.Quantity == nil {
 		cfg.Quantity = model.SavingMOA{}
 	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("core: negative Parallelism %d", cfg.Parallelism)
+	}
+	workers := par.Workers(cfg.Parallelism)
 
 	all := mined.AllRules()
 	filtered := all
@@ -112,7 +125,7 @@ func Build(space *hierarchy.Space, txns []model.Transaction, mined *mining.Resul
 	}
 	kept := rules.RemoveDominated(space, filtered)
 
-	root := buildCoveringTree(space, kept, txns)
+	root := buildCoveringTree(space, kept, txns, workers)
 	eval := &pessimisticEvaluator{
 		space:    space,
 		txns:     txns,
@@ -120,18 +133,13 @@ func Build(space *hierarchy.Space, txns []model.Transaction, mined *mining.Resul
 		binary:   cfg.BinaryProfit,
 		quantity: cfg.Quantity,
 	}
+	// Own-cover projections are independent per node, so they fan out
+	// over the pool; under PruneOff they are the final values, and under
+	// cut-optimal pruning they seed the serial bottom-up traversal
+	// (which only re-evaluates merged covers).
+	projectTree(root, eval, workers)
 	if cfg.Prune == PruneCutOptimal {
 		pruneCutOptimal(root, eval)
-	} else {
-		// Still compute per-node projections for reporting.
-		var walk func(*Node)
-		walk = func(n *Node) {
-			n.Projected = eval.Projected(n.Rule, n.Cover)
-			for _, c := range n.Children {
-				walk(c)
-			}
-		}
-		walk(root)
 	}
 
 	final := collectRules(root)

@@ -79,6 +79,12 @@ type Options struct {
 
 	// MaxSaleProfit fixes the top of the profit-range buckets (Figure
 	// 3(d)); 0 computes it from the validation transactions.
+	//
+	// Profit-stratified metrics are only meaningful against one fixed
+	// stratification, so CrossValidate resolves an unset cap to the
+	// dataset-wide maximum before evaluating any fold — otherwise each
+	// fold would bucket against its own maximum and the pooled
+	// RangeN/RangeHits would mix incompatible boundaries.
 	MaxSaleProfit float64
 }
 
@@ -219,17 +225,20 @@ func profitBucket(p, max float64) int {
 }
 
 // Folds partitions {0,…,n−1} into k shuffled folds of (nearly) equal size
-// — the 5-fold cross-validation splitter of Section 5.1.
-func Folds(n, k int, seed int64) [][]int {
+// — the 5-fold cross-validation splitter of Section 5.1. A dataset too
+// small to split (n < k) is an error, not a panic: it typically means a
+// caller loaded the wrong file, and the failure must be diagnosable even
+// when it surfaces from a worker goroutine.
+func Folds(n, k int, seed int64) ([][]int, error) {
 	if k < 2 || n < k {
-		panic(fmt.Sprintf("eval: Folds(%d, %d) needs n ≥ k ≥ 2", n, k))
+		return nil, fmt.Errorf("eval: Folds(%d, %d) needs n ≥ k ≥ 2", n, k)
 	}
 	perm := rand.New(rand.NewSource(seed)).Perm(n)
 	folds := make([][]int, k)
 	for i, p := range perm {
 		folds[i%k] = append(folds[i%k], p)
 	}
-	return folds
+	return folds, nil
 }
 
 // BuildInfo reports model-size statistics from a Builder, averaged over
@@ -251,7 +260,27 @@ type Builder func(train []model.Transaction) (Recommend, BuildInfo, error)
 // evalOpts; perFold carries the unpooled per-fold metrics
 // (perFold[i][f] = evalOpts[i] on fold f) for variance reporting.
 func CrossValidate(ds *model.Dataset, k int, seed int64, build Builder, evalOpts []Options) ([]Metrics, [][]Metrics, BuildInfo, error) {
-	folds := Folds(len(ds.Transactions), k, seed)
+	folds, err := Folds(len(ds.Transactions), k, seed)
+	if err != nil {
+		return nil, nil, BuildInfo{}, err
+	}
+
+	// Resolve an unset profit-range cap to the dataset-wide maximum once,
+	// so every fold buckets against the same boundaries and the pooled
+	// RangeN/RangeHits are a single consistent stratification.
+	var dsMaxProfit float64
+	for i := range ds.Transactions {
+		if p := ds.Catalog.SaleProfit(ds.Transactions[i].Target); p > dsMaxProfit {
+			dsMaxProfit = p
+		}
+	}
+	evalOpts = append([]Options(nil), evalOpts...)
+	for i := range evalOpts {
+		if evalOpts[i].MaxSaleProfit == 0 { //lint:allow floatcmp -- exact zero is the unset-option sentinel of Options.MaxSaleProfit
+			evalOpts[i].MaxSaleProfit = dsMaxProfit
+		}
+	}
+
 	perFold := make([][]Metrics, len(evalOpts))
 	for i := range perFold {
 		perFold[i] = make([]Metrics, k)

@@ -212,7 +212,10 @@ func TestMetricsMergeAndZeroes(t *testing.T) {
 }
 
 func TestFolds(t *testing.T) {
-	folds := Folds(103, 5, 7)
+	folds, err := Folds(103, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(folds) != 5 {
 		t.Fatalf("folds = %d", len(folds))
 	}
@@ -234,7 +237,10 @@ func TestFolds(t *testing.T) {
 		}
 	}
 	// Deterministic per seed, different across seeds.
-	again := Folds(103, 5, 7)
+	again, err := Folds(103, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range folds {
 		for j := range folds[i] {
 			if folds[i][j] != again[i][j] {
@@ -244,16 +250,58 @@ func TestFolds(t *testing.T) {
 	}
 }
 
-func TestFoldsPanics(t *testing.T) {
+func TestFoldsErrors(t *testing.T) {
 	for _, tc := range [][2]int{{3, 5}, {10, 1}, {0, 2}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Folds(%d, %d): expected panic", tc[0], tc[1])
-				}
-			}()
-			Folds(tc[0], tc[1], 1)
-		}()
+		if _, err := Folds(tc[0], tc[1], 1); err == nil {
+			t.Errorf("Folds(%d, %d): expected error", tc[0], tc[1])
+		}
+	}
+}
+
+func TestCrossValidateTinyDatasetErrors(t *testing.T) {
+	l := newLadder(t)
+	ds := &model.Dataset{Catalog: l.cat}
+	for i := 0; i < 3; i++ {
+		ds.Transactions = append(ds.Transactions, l.txn(i, 1))
+	}
+	builder := func([]model.Transaction) (Recommend, BuildInfo, error) {
+		t.Error("builder must not run when the dataset cannot be split")
+		return nil, BuildInfo{}, nil
+	}
+	if _, _, _, err := CrossValidate(ds, 5, 1, builder, []Options{{}}); err == nil {
+		t.Fatal("CrossValidate on n < k must return an error")
+	}
+}
+
+// TestCrossValidateUsesDatasetWideProfitBuckets is the regression test
+// for the fold-dependent bucket bug: with a single high-profit
+// transaction and k=2, one fold's local profit maximum differs from the
+// other's, and bucketing each fold against its own maximum (the old
+// behavior) misplaces every low-profit transaction of the
+// high-profit-free fold into the High bucket.
+func TestCrossValidateUsesDatasetWideProfitBuckets(t *testing.T) {
+	l := newLadder(t)
+	ds := &model.Dataset{Catalog: l.cat}
+	for i := 0; i < 9; i++ {
+		ds.Transactions = append(ds.Transactions, l.txn(0, 1)) // profit 1
+	}
+	ds.Transactions = append(ds.Transactions, l.txn(3, 1)) // profit 4
+
+	builder := func([]model.Transaction) (Recommend, BuildInfo, error) {
+		return fixedRec(l.t, l.pt[0]), BuildInfo{}, nil
+	}
+	pooled, _, _, err := CrossValidate(ds, 2, 3, builder, []Options{{MOAHits: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against the dataset-wide cap of 4 the boundaries are 4/3 and 8/3:
+	// the nine profit-1 transactions are Low and the profit-4 one is
+	// High — regardless of which fold the profit-4 transaction lands in.
+	if got, want := pooled[0].RangeN, [3]int{9, 0, 1}; got != want {
+		t.Errorf("pooled RangeN = %v, want %v (one global stratification)", got, want)
+	}
+	if got, want := pooled[0].RangeHits, [3]int{9, 0, 1}; got != want {
+		t.Errorf("pooled RangeHits = %v, want %v", got, want)
 	}
 }
 

@@ -68,6 +68,12 @@ type VariantConfig struct {
 	Prune      core.PruneMode      // default cut-optimal
 	K          int                 // kNN neighbor count (default 5)
 	Quantity   model.QuantityModel // build-time quantity estimation
+
+	// Parallelism is the per-build worker count passed to mining and core
+	// (0 = one worker per CPU, 1 = strictly serial). Note CrossValidate
+	// already fans out across folds, so per-build parallelism mainly pays
+	// off when folds are few or the dataset is large.
+	Parallelism int
 }
 
 // SpaceFactory supplies a compiled generalized-sale space with or without
@@ -100,6 +106,7 @@ func NewBuilder(v Variant, cat *model.Catalog, spaces SpaceFactory, cfg VariantC
 				MaxBodyLen:   cfg.MaxBodyLen,
 				BinaryProfit: v.binaryProfit(),
 				Quantity:     cfg.Quantity,
+				Parallelism:  cfg.Parallelism,
 			})
 			if err != nil {
 				return nil, BuildInfo{}, err
@@ -109,6 +116,7 @@ func NewBuilder(v Variant, cat *model.Catalog, spaces SpaceFactory, cfg VariantC
 				Prune:        cfg.Prune,
 				BinaryProfit: v.binaryProfit(),
 				Quantity:     cfg.Quantity,
+				Parallelism:  cfg.Parallelism,
 			})
 			if err != nil {
 				return nil, BuildInfo{}, err

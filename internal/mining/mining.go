@@ -20,6 +20,7 @@ import (
 
 	"profitmining/internal/hierarchy"
 	"profitmining/internal/model"
+	"profitmining/internal/par"
 	"profitmining/internal/rules"
 )
 
@@ -57,6 +58,18 @@ type Options struct {
 	// Quantity estimates the purchase quantity at the recommended
 	// promotion code (default model.SavingMOA).
 	Quantity model.QuantityModel
+
+	// Parallelism caps the number of worker goroutines used by the
+	// transaction-expansion and level-wise counting passes. 0 (the
+	// default) uses one worker per available CPU; 1 runs strictly
+	// serial. Every setting yields byte-identical results: transactions
+	// are split into fixed-size shards (independent of the worker count)
+	// whose partial counts are merged in ascending shard order, so the
+	// arithmetic — including the order of floating-point profit
+	// additions — never depends on the schedule. When Parallelism != 1,
+	// Quantity must be safe for concurrent use (the built-in models
+	// are: they are stateless).
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -121,6 +134,9 @@ func Mine(space *hierarchy.Space, txns []model.Transaction, opts Options) (*Resu
 	if opts.MinConfidence < 0 || opts.MinConfidence > 1 {
 		return nil, fmt.Errorf("mining: MinConfidence %g outside [0,1]", opts.MinConfidence)
 	}
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("mining: negative Parallelism %d", opts.Parallelism)
+	}
 
 	minCount := opts.MinSupportCount
 	if minCount == 0 && opts.MinSupport > 0 {
@@ -161,6 +177,7 @@ func Mine(space *hierarchy.Space, txns []model.Transaction, opts Options) (*Resu
 		profitPruning: profitPruning,
 		heads:         heads,
 		headIdx:       headIdx,
+		workers:       par.Workers(opts.Parallelism),
 	}
 	m.prepare(txns)
 	return m.run()
@@ -174,6 +191,7 @@ type miner struct {
 
 	heads   []hierarchy.GenID
 	headIdx map[hierarchy.GenID]int32
+	workers int
 
 	txns      []txnData
 	numTxns   int
@@ -183,12 +201,14 @@ type miner struct {
 }
 
 // prepare expands every transaction once: its generalized basket and its
-// per-head hit profits.
+// per-head hit profits. Expansions are independent per transaction (the
+// space and catalog are immutable), so they fan out across the workers;
+// each worker writes only its own txnData slots.
 func (m *miner) prepare(txns []model.Transaction) {
 	cat := m.space.Catalog()
 	m.txns = make([]txnData, len(txns))
 	m.numTxns = len(txns)
-	for i := range txns {
+	par.For(m.workers, len(txns), func(i int) {
 		t := &txns[i]
 		td := &m.txns[i]
 		td.items = m.space.ExpandBasket(t.NonTarget)
@@ -206,7 +226,7 @@ func (m *miner) prepare(txns []model.Transaction) {
 			qty := m.opts.Quantity.Quantity(rec, recorded, t.Target.Qty)
 			td.headProfit[j] = rec.Profit() * qty
 		}
-	}
+	})
 }
 
 func (m *miner) run() (*Result, error) {
@@ -244,6 +264,13 @@ type candidate struct {
 	items []hierarchy.GenID
 	count int
 	stats []headStat // dense, indexed by head index
+
+	// idx is the candidate's position in the current level's candidate
+	// list; slot is its position among the candidates carrying head
+	// statistics this pass (-1 when it carries none). Both index the
+	// shard accumulation buffers of countLevel.
+	idx  int32
+	slot int32
 }
 
 func (m *miner) level1Candidates() []*candidate {
@@ -292,6 +319,79 @@ type trieNode struct {
 	cand     *candidate
 }
 
+// countBuf accumulates one transaction shard's contribution to a
+// counting pass. counts is dense over the pass's index space (candidate
+// index for the body and single-pass variants, stat slot for the head
+// pass); stats, when present, is the flattened slot-major head
+// statistics (slot*stride + head). touched records the indices with a
+// nonzero count in first-touch order, so merging and clearing cost is
+// proportional to what the shard actually matched, not to the candidate
+// count — with millions of speculative candidates at low supports, a
+// dense per-shard merge would dwarf the counting itself.
+type countBuf struct {
+	counts  []int
+	stats   []headStat
+	stride  int
+	touched []int32
+}
+
+func newCountBuf(n, stride int, withStats bool) *countBuf {
+	b := &countBuf{counts: make([]int, n), stride: stride}
+	if withStats {
+		b.stats = make([]headStat, n*stride)
+	}
+	return b
+}
+
+// touch registers index i, returning its (shared) shard count cell.
+func (b *countBuf) touch(i int32) *int {
+	if b.counts[i] == 0 {
+		b.touched = append(b.touched, i)
+	}
+	return &b.counts[i]
+}
+
+// bufPool recycles shard buffers across shards of one counting pass. At
+// most ~2×workers shards are in flight at once (par.Ordered bounds the
+// reorder window), so the pool — and peak buffer memory — stays bounded.
+type bufPool struct {
+	ch     chan *countBuf
+	n      int
+	stride int
+	stats  bool
+}
+
+func newBufPool(workers, n, stride int, withStats bool) *bufPool {
+	return &bufPool{ch: make(chan *countBuf, 2*workers+1), n: n, stride: stride, stats: withStats}
+}
+
+func (p *bufPool) get() *countBuf {
+	select {
+	case b := <-p.ch:
+		return b
+	default:
+		return newCountBuf(p.n, p.stride, p.stats)
+	}
+}
+
+// put clears the buffer's touched entries and returns it to the pool.
+func (p *bufPool) put(b *countBuf) {
+	for _, i := range b.touched {
+		b.counts[i] = 0
+		if b.stats != nil {
+			row := b.stats[int(i)*b.stride : (int(i)+1)*b.stride]
+			for j := range row {
+				row[j] = headStat{}
+			}
+		}
+	}
+	b.touched = b.touched[:0]
+	select {
+	case p.ch <- b:
+	default:
+	}
+}
+
 // countLevel counts body matches and per-head hits for all candidates of
 // one level. Under support mining it makes two passes over the
 // transactions: the first counts body matches only, and per-head
@@ -300,11 +400,21 @@ type trieNode struct {
 // statistics per candidate dominated the build profile. Under profit-only
 // pruning there is no frequency filter, so a single pass accumulates
 // everything.
+//
+// Each pass shards the transactions across the worker pool; every shard
+// accumulates into its own countBuf and the partials are merged into the
+// candidates in ascending shard order (par.Ordered), so counts — and the
+// order of floating-point profit additions — are byte-identical to the
+// strictly serial run for any worker count.
 func (m *miner) countLevel(cands []*candidate) []*candidate {
 	if len(cands) == 0 {
 		return nil
 	}
 	m.result.CandidateBodies = append(m.result.CandidateBodies, len(cands))
+	for i, c := range cands {
+		c.idx = int32(i)
+		c.slot = -1
+	}
 
 	// Candidates are generated in lexicographic order of their items, so
 	// the trie can be built by sequential insertion.
@@ -325,43 +435,95 @@ func (m *miner) countLevel(cands []*candidate) []*candidate {
 	}
 
 	if m.minCount > 0 {
-		for i := range m.txns {
-			if items := m.txns[i].items; len(items) > 0 {
-				countBodies(root.children, items)
-			}
-		}
-		any := false
+		// Pass 1: body counts only (pure integers).
+		pool := newBufPool(m.workers, len(cands), 0, false)
+		par.Ordered(m.workers, len(m.txns),
+			func(_, _, lo, hi int) *countBuf {
+				buf := pool.get()
+				for i := lo; i < hi; i++ {
+					if items := m.txns[i].items; len(items) > 0 {
+						countBodies(root.children, items, buf)
+					}
+				}
+				return buf
+			},
+			func(_ int, buf *countBuf) {
+				for _, ci := range buf.touched {
+					cands[ci].count += buf.counts[ci]
+				}
+				pool.put(buf)
+			})
+
+		// Pass 2: head statistics for the frequent bodies alone.
+		var bySlot []*candidate
 		for _, c := range cands {
 			if c.count >= m.minCount {
 				c.stats = make([]headStat, len(m.heads))
-				any = true
+				c.slot = int32(len(bySlot))
+				bySlot = append(bySlot, c)
 			}
 		}
-		if !any {
+		if len(bySlot) == 0 {
 			return cands
 		}
-		for i := range m.txns {
-			td := &m.txns[i]
-			if len(td.items) > 0 && len(td.heads) > 0 {
-				m.countHeads(root.children, td.items, td)
-			}
-		}
+		m.countPass(cands, bySlot, root, countHeads)
 		return cands
 	}
 
-	for i := range m.txns {
-		td := &m.txns[i]
-		if len(td.items) > 0 {
-			m.countAll(root.children, td.items, td)
-		}
-	}
+	// Profit-only pruning: one pass counting bodies and heads together,
+	// with a stat slot per candidate.
+	m.countPass(cands, cands, root, countAll)
 	return cands
+}
+
+// countPass runs one sharded head-statistics pass. bySlot lists the
+// candidates carrying statistics, indexed by their slot; walk is the trie
+// walk accumulating a single transaction into the shard buffer.
+func (m *miner) countPass(cands, bySlot []*candidate, root *trieNode, walk func(nodes []*trieNode, xs []hierarchy.GenID, td *txnData, buf *countBuf)) {
+	pool := newBufPool(m.workers, len(bySlot), len(m.heads), true)
+	par.Ordered(m.workers, len(m.txns),
+		func(_, _, lo, hi int) *countBuf {
+			buf := pool.get()
+			for i := lo; i < hi; i++ {
+				td := &m.txns[i]
+				if len(td.items) > 0 {
+					walk(root.children, td.items, td, buf)
+				}
+			}
+			return buf
+		},
+		func(_ int, buf *countBuf) {
+			for _, slot := range buf.touched {
+				c := bySlot[slot]
+				row := buf.stats[int(slot)*buf.stride : (int(slot)+1)*buf.stride]
+				anyHits := false
+				for _, s := range row {
+					if s.hits > 0 {
+						anyHits = true
+						break
+					}
+				}
+				if c.slot < 0 { // countAll: counts[idx] is the body count
+					c.count += buf.counts[slot]
+				}
+				if anyHits {
+					if c.stats == nil {
+						c.stats = make([]headStat, len(m.heads))
+					}
+					for h, s := range row {
+						c.stats[h].hits += s.hits
+						c.stats[h].profit += s.profit
+					}
+				}
+			}
+			pool.put(buf)
+		})
 }
 
 // countBodies is the body-count pass: it advances two sorted sequences
 // (trie children and transaction items) and increments matched
-// candidates.
-func countBodies(nodes []*trieNode, xs []hierarchy.GenID) {
+// candidates in the shard buffer.
+func countBodies(nodes []*trieNode, xs []hierarchy.GenID, buf *countBuf) {
 	ni, xi := 0, 0
 	for ni < len(nodes) && xi < len(xs) {
 		switch {
@@ -372,10 +534,10 @@ func countBodies(nodes []*trieNode, xs []hierarchy.GenID) {
 		default:
 			node := nodes[ni]
 			if node.cand != nil {
-				node.cand.count++
+				*buf.touch(node.cand.idx)++
 			}
 			if len(node.children) > 0 {
-				countBodies(node.children, xs[xi+1:])
+				countBodies(node.children, xs[xi+1:], buf)
 			}
 			ni++
 			xi++
@@ -384,8 +546,11 @@ func countBodies(nodes []*trieNode, xs []hierarchy.GenID) {
 }
 
 // countHeads is the head pass: it accumulates hits and profit for
-// candidates that survived the frequency filter (stats allocated).
-func (m *miner) countHeads(nodes []*trieNode, xs []hierarchy.GenID, td *txnData) {
+// candidates that survived the frequency filter (slot assigned).
+func countHeads(nodes []*trieNode, xs []hierarchy.GenID, td *txnData, buf *countBuf) {
+	if len(td.heads) == 0 {
+		return
+	}
 	ni, xi := 0, 0
 	for ni < len(nodes) && xi < len(xs) {
 		switch {
@@ -395,14 +560,17 @@ func (m *miner) countHeads(nodes []*trieNode, xs []hierarchy.GenID, td *txnData)
 			xi++
 		default:
 			node := nodes[ni]
-			if c := node.cand; c != nil && c.stats != nil {
+			if c := node.cand; c != nil && c.slot >= 0 {
+				*buf.touch(c.slot)++
+				base := int(c.slot) * buf.stride
 				for j, h := range td.heads {
-					c.stats[h].hits++
-					c.stats[h].profit += td.headProfit[j]
+					s := &buf.stats[base+int(h)]
+					s.hits++
+					s.profit += td.headProfit[j]
 				}
 			}
 			if len(node.children) > 0 {
-				m.countHeads(node.children, xs[xi+1:], td)
+				countHeads(node.children, xs[xi+1:], td, buf)
 			}
 			ni++
 			xi++
@@ -410,8 +578,10 @@ func (m *miner) countHeads(nodes []*trieNode, xs []hierarchy.GenID, td *txnData)
 	}
 }
 
-// countAll is the single-pass variant for profit-only pruning.
-func (m *miner) countAll(nodes []*trieNode, xs []hierarchy.GenID, td *txnData) {
+// countAll is the single-pass variant for profit-only pruning: every
+// candidate uses its own index as stat slot, and the shard count doubles
+// as the body count.
+func countAll(nodes []*trieNode, xs []hierarchy.GenID, td *txnData, buf *countBuf) {
 	ni, xi := 0, 0
 	for ni < len(nodes) && xi < len(xs) {
 		switch {
@@ -422,19 +592,18 @@ func (m *miner) countAll(nodes []*trieNode, xs []hierarchy.GenID, td *txnData) {
 		default:
 			node := nodes[ni]
 			if c := node.cand; c != nil {
-				c.count++
+				*buf.touch(c.idx)++
 				if len(td.heads) > 0 {
-					if c.stats == nil {
-						c.stats = make([]headStat, len(m.heads))
-					}
+					base := int(c.idx) * buf.stride
 					for j, h := range td.heads {
-						c.stats[h].hits++
-						c.stats[h].profit += td.headProfit[j]
+						s := &buf.stats[base+int(h)]
+						s.hits++
+						s.profit += td.headProfit[j]
 					}
 				}
 			}
 			if len(node.children) > 0 {
-				m.countAll(node.children, xs[xi+1:], td)
+				countAll(node.children, xs[xi+1:], td, buf)
 			}
 			ni++
 			xi++

@@ -1,0 +1,122 @@
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+	if got := Workers(-3); got != 1 {
+		t.Errorf("Workers(-3) = %d, want clamp to 1", got)
+	}
+}
+
+func TestNumShards(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 0}, {-1, 0}, {1, 1}, {ShardSize, 1}, {ShardSize + 1, 2}, {3 * ShardSize, 3},
+	} {
+		if got := NumShards(tc.n); got != tc.want {
+			t.Errorf("NumShards(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		n := 10*ShardSize + 17
+		hits := make([]atomic.Int32, n)
+		For(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+	For(4, 0, func(int) { t.Error("For with n=0 must not call fn") })
+}
+
+func TestOrderedCommitsInShardOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		n := 7*ShardSize + 123
+		var committed []int
+		total := 0
+		Ordered(workers, n,
+			func(worker, shard, lo, hi int) int {
+				if lo != shard*ShardSize {
+					t.Errorf("shard %d: lo = %d", shard, lo)
+				}
+				return hi - lo
+			},
+			func(shard int, v int) {
+				committed = append(committed, shard)
+				total += v
+			})
+		if total != n {
+			t.Errorf("workers=%d: shard sizes sum to %d, want %d", workers, total, n)
+		}
+		if len(committed) != NumShards(n) {
+			t.Fatalf("workers=%d: %d commits, want %d", workers, len(committed), NumShards(n))
+		}
+		for i, s := range committed {
+			if s != i {
+				t.Fatalf("workers=%d: commit %d was shard %d, want ascending shard order", workers, i, s)
+			}
+		}
+	}
+}
+
+// TestOrderedFloatSumsAreWorkerCountIndependent is the determinism
+// contract itself: per-shard float partials merged in shard order must be
+// bit-identical for every worker count.
+func TestOrderedFloatSumsAreWorkerCountIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 5*ShardSize + 77
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 0.1
+	}
+	sum := func(workers int) float64 {
+		var total float64
+		Ordered(workers, n,
+			func(_, _, lo, hi int) float64 {
+				var partial float64
+				for i := lo; i < hi; i++ {
+					partial += xs[i]
+				}
+				return partial
+			},
+			func(_ int, partial float64) { total += partial })
+		return total
+	}
+	base := sum(1)
+	for _, workers := range []int{2, 3, 5, 13} {
+		if got := sum(workers); got != base {
+			t.Errorf("workers=%d: sum %v != serial %v (must be bit-identical)", workers, got, base)
+		}
+	}
+}
+
+func TestOrderedWorkerIndexIsExclusive(t *testing.T) {
+	const workers = 4
+	var inUse [workers]atomic.Int32
+	Ordered(workers, 40*ShardSize,
+		func(worker, _, _, _ int) int {
+			if inUse[worker].Add(1) != 1 {
+				t.Errorf("worker index %d used concurrently", worker)
+			}
+			defer inUse[worker].Add(-1)
+			return 0
+		},
+		func(int, int) {})
+}

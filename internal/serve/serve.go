@@ -7,8 +7,10 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
+	"mime"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -16,6 +18,12 @@ import (
 	"profitmining/internal/core"
 	"profitmining/internal/model"
 )
+
+// maxRecommendBody caps the size of a POST /recommend request. Baskets
+// are small (a few sales); 1 MiB is orders of magnitude above any
+// legitimate request while keeping a misbehaving client from streaming
+// an unbounded body into the decoder.
+const maxRecommendBody = 1 << 20
 
 // Server wraps a recommender with HTTP handlers. The model is immutable
 // and the counters are atomic, so a single instance serves concurrent
@@ -164,9 +172,22 @@ func (s *Server) recommend(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || ct != "application/json" {
+		s.badRequests.Add(1)
+		s.fail(w, http.StatusUnsupportedMediaType, "Content-Type must be application/json")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxRecommendBody)
 	var req recommendRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.badRequests.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
 		s.fail(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}

@@ -218,6 +218,71 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+func TestRecommendRejectsWrongContentType(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"basket":[{"item":"Beer","promoIx":0}]}`
+	for _, ct := range []string{"", "text/plain", "application/x-www-form-urlencoded", "application/"} {
+		resp, err := http.Post(ts.URL+"/recommend", ct, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("Content-Type %q: non-JSON error response: %v", ct, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Errorf("Content-Type %q: status %d, want 415", ct, resp.StatusCode)
+		}
+		if out["error"] == "" {
+			t.Errorf("Content-Type %q: missing error message", ct)
+		}
+	}
+	// A parameterized JSON media type is fine.
+	resp, err := http.Post(ts.URL+"/recommend", "application/json; charset=utf-8", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("application/json with charset: status %d, want 200", resp.StatusCode)
+	}
+
+	_, metrics := getJSON(t, ts.URL+"/metrics")
+	if got := metrics["badRequests"].(float64); got != 4 {
+		t.Errorf("badRequests = %v, want 4 (one per rejected Content-Type)", got)
+	}
+}
+
+func TestRecommendRejectsOversizedBody(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A syntactically valid request that is simply too big: the decoder
+	// must hit the MaxBytesReader limit, not a JSON error.
+	var sb strings.Builder
+	sb.WriteString(`{"basket":[`)
+	line := `{"item":"Beer","promoIx":0,"qty":1},`
+	for sb.Len() < 1<<20 {
+		sb.WriteString(line)
+	}
+	sb.WriteString(`{"item":"Beer","promoIx":0,"qty":1}]}`)
+
+	resp, body := postJSON(t, ts.URL+"/recommend", sb.String())
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	if !strings.Contains(body["error"].(string), "exceeds") {
+		t.Errorf("413 error = %v, want a body-size message", body["error"])
+	}
+
+	_, metrics := getJSON(t, ts.URL+"/metrics")
+	if got := metrics["badRequests"].(float64); got != 1 {
+		t.Errorf("badRequests = %v, want 1", got)
+	}
+	if got := metrics["recommendations"].(float64); got != 0 {
+		t.Errorf("recommendations = %v, want 0", got)
+	}
+}
+
 func TestConcurrentScoring(t *testing.T) {
 	_, ts := newTestServer(t)
 	done := make(chan error, 8)

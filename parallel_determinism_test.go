@@ -1,0 +1,73 @@
+package profitmining_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"profitmining"
+)
+
+// TestParallelBuildIsByteIdentical is the determinism contract of the
+// parallel build pipeline: for any worker count, the mined rules, the
+// covering tree, and the projected profits — everything a saved model
+// serializes — must be byte-identical to the strictly serial build. The
+// dataset spans several transaction shards so the sharded counting
+// passes, the MPF cover merge, and the projection fan-out all actually
+// run multi-shard. The test runs under -race in CI, so it also vouches
+// for the pipeline's memory safety.
+func TestParallelBuildIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed build matrix")
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ds, err := profitmining.GenerateDatasetI(profitmining.QuestConfig{
+				NumTransactions: 3000,
+				NumItems:        60,
+				Seed:            seed,
+			}, seed+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			variants := []struct {
+				name string
+				opts profitmining.Options
+			}{
+				// Support mining: the two-pass countBodies/countHeads path.
+				{"support", profitmining.Options{MinSupport: 0.003}},
+				// Profit-only pruning: the single-pass countAll path.
+				{"profit", profitmining.Options{MinRuleProfit: 40, MaxBodyLen: 2}},
+				// Unpruned tree: projectTree results are the final values.
+				{"noprune", profitmining.Options{MinSupport: 0.005, DisablePruning: true}},
+			}
+			for _, v := range variants {
+				t.Run(v.name, func(t *testing.T) {
+					serial := buildModelBytes(t, ds, v.opts, 1)
+					for _, workers := range []int{2, 3, 8} {
+						if got := buildModelBytes(t, ds, v.opts, workers); !bytes.Equal(got, serial) {
+							t.Errorf("Parallelism=%d produced a different model than the serial build (%d vs %d bytes)",
+								workers, len(got), len(serial))
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+func buildModelBytes(t *testing.T, ds *profitmining.Dataset, opts profitmining.Options, workers int) []byte {
+	t.Helper()
+	opts.Parallelism = workers
+	rec, err := profitmining.Build(ds, opts)
+	if err != nil {
+		t.Fatalf("Parallelism=%d: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := profitmining.WriteModel(&buf, ds.Catalog, nil, rec); err != nil {
+		t.Fatalf("Parallelism=%d: serializing: %v", workers, err)
+	}
+	return buf.Bytes()
+}

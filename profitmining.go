@@ -165,6 +165,15 @@ type Options struct {
 	// catalog's non-target items; nil uses the flat hierarchy (all items
 	// directly under the root).
 	Hierarchy *HierarchyBuilder
+
+	// Parallelism bounds the worker pool used while mining rules and
+	// building the covering tree. 0 (the default) uses one worker per
+	// available CPU; 1 runs the exact serial path. The built recommender
+	// is byte-identical for every setting — parallelism only changes the
+	// wall-clock time. When Parallelism != 1, a custom Quantity model
+	// must be safe for concurrent use (the built-in models are
+	// stateless).
+	Parallelism int
 }
 
 // Build constructs a profit-mining recommender from a dataset: it
@@ -189,6 +198,7 @@ func Build(ds *Dataset, opts Options) (*Recommender, error) {
 		MaxBodyLen:      opts.MaxBodyLen,
 		BinaryProfit:    opts.BinaryProfit,
 		Quantity:        opts.Quantity,
+		Parallelism:     opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -203,6 +213,7 @@ func Build(ds *Dataset, opts Options) (*Recommender, error) {
 		BinaryProfit: opts.BinaryProfit,
 		Quantity:     opts.Quantity,
 		MinInterest:  opts.MinInterest,
+		Parallelism:  opts.Parallelism,
 	})
 }
 
