@@ -4,22 +4,41 @@
 //
 //	profitserve -model grocery.pmm -addr :8080
 //
+// Follow retrains by watching the model file for changes (poll-based;
+// new versions are validated and hot-swapped without dropping traffic):
+//
+//	profitserve -model grocery.pmm -watch -poll 2s
+//
+// Shadow-score candidates on 10% of live traffic before promoting:
+//
+//	profitserve -model grocery.pmm -watch -shadow 0.1
+//
 // Or train on a dataset file and serve in one step:
 //
 //	profitserve -data grocery.pmjl -minsup 0.01 -addr :8080
 //
 // Endpoints: GET /healthz, GET /catalog, GET /rules?limit=N,
+// GET /metrics, GET /version, POST /admin/reload,
 // POST /recommend {"basket":[{"item":"Beer","promoIx":0,"qty":1}],"k":2}.
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
+// requests finish (bounded by -drain), then the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"profitmining"
+	"profitmining/internal/registry"
 	"profitmining/internal/serve"
 )
 
@@ -29,21 +48,42 @@ func main() {
 		dataPath  = flag.String("data", "", "dataset file to train on (alternative to -model)")
 		minsup    = flag.Float64("minsup", 0.001, "minimum support when training from -data")
 		addr      = flag.String("addr", ":8080", "listen address")
+		watch     = flag.Bool("watch", false, "poll the -model file and hot-swap new versions")
+		poll      = flag.Duration("poll", 2*time.Second, "poll interval for -watch")
+		shadow    = flag.Float64("shadow", 0, "fraction of live traffic replayed against a staged candidate before promotion (0 = promote immediately)")
+		samples   = flag.Int("shadow-samples", 32, "shadowed requests required before a staged candidate auto-promotes")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
 
-	var (
-		cat *profitmining.Catalog
-		rec *profitmining.Recommender
-		err error
-	)
+	reg, err := registry.New(registry.Options{
+		ShadowFraction:   *shadow,
+		ShadowMinSamples: *samples,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	var reload serve.Reloader
 	switch {
 	case *modelPath != "" && *dataPath != "":
 		fail(fmt.Errorf("give either -model or -data, not both"))
 	case *modelPath != "":
-		cat, rec, err = profitmining.LoadModel(*modelPath)
+		watcher, err := registry.NewWatcher(reg, *modelPath, *poll, log.Printf)
 		if err != nil {
 			fail(err)
+		}
+		// The initial load goes through the same gate as every later
+		// swap; a broken file at startup is fatal, not served around.
+		if _, outcome, err := watcher.Check(); err != nil {
+			fail(fmt.Errorf("loading %s: %w (%s)", *modelPath, err, outcome))
+		}
+		reload = watcher.Check
+		if *watch {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go watcher.Run(ctx)
+			log.Printf("watching %s every %v (shadow fraction %g)", *modelPath, *poll, *shadow)
 		}
 	case *dataPath != "":
 		ds, spec, err := profitmining.LoadDataset(*dataPath)
@@ -56,20 +96,57 @@ func main() {
 				fail(err)
 			}
 		}
-		if rec, err = profitmining.Build(ds, opts); err != nil {
+		rec, err := profitmining.Build(ds, opts)
+		if err != nil {
 			fail(err)
 		}
-		cat = ds.Catalog
+		if _, _, err := reg.Submit(ds.Catalog, rec, "trained from "+*dataPath, ""); err != nil {
+			fail(err)
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "profitserve: -model or -data is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	log.Printf("serving %d rules over %d items on %s", rec.Stats().RulesFinal, cat.NumItems(), *addr)
-	srv := serve.New(cat, rec)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	active := reg.Active()
+	log.Printf("serving version %d: %d rules over %d items on %s",
+		active.Version, active.Rec.Stats().RulesFinal, active.Cat.NumItems(), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewRegistry(reg, reload).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops the
+	// listener and waits for in-flight requests up to the -drain budget.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
 		fail(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down: draining in-flight requests (up to %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+		log.Printf("drained; bye")
 	}
 }
 

@@ -10,6 +10,8 @@
 package modelio
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,7 +24,15 @@ import (
 	"profitmining/internal/rules"
 )
 
-const formatV1 = "profitmining-model/v1"
+// Format versions. v1 files carry no checksum and are still read for
+// backward compatibility; v2 adds a mandatory payload checksum so a
+// truncated or bit-flipped file fails loudly instead of restoring a
+// silently corrupted model (the registry's validation gate depends on
+// this).
+const (
+	formatV1 = "profitmining-model/v1"
+	formatV2 = "profitmining-model/v2"
+)
 
 // genJSON is the structural form of one generalized sale.
 type genJSON struct {
@@ -50,6 +60,7 @@ type nodeJSON struct {
 
 type modelFile struct {
 	Format       string                `json:"format"`
+	Checksum     string                `json:"checksum,omitempty"` // sha256 of the compact encoding with Checksum cleared (v2+)
 	MOA          bool                  `json:"moa"`
 	Items        []dataio.ItemJSON     `json:"items"`
 	Promos       []dataio.PromoJSON    `json:"promos"`
@@ -66,7 +77,7 @@ func Save(w io.Writer, cat *model.Catalog, spec *dataio.HierarchySpec, rec *core
 	enc := encoder{space: space, cat: cat}
 
 	mf := modelFile{
-		Format:       formatV1,
+		Format:       formatV2,
 		MOA:          space.MOA(),
 		Hierarchy:    spec,
 		Generated:    rec.Stats().RulesGenerated,
@@ -87,9 +98,29 @@ func Save(w io.Writer, cat *model.Catalog, spec *dataio.HierarchySpec, rec *core
 		mf.Alternates = append(mf.Alternates, rj)
 	}
 
+	if mf.Checksum, err = checksum(&mf); err != nil {
+		return err
+	}
 	e := json.NewEncoder(w)
 	e.SetIndent("", " ")
 	return e.Encode(&mf)
+}
+
+// checksum hashes the compact JSON encoding of mf with the Checksum
+// field cleared. Both Save and Load derive the bytes by marshaling the
+// same struct, so indentation and field layout cancel out, while any
+// content change — a flipped bit inside a name, a dropped rule — shows
+// up on re-encoding. encoding/json is deterministic here: struct fields
+// encode in declaration order and map keys sort.
+func checksum(mf *modelFile) (string, error) {
+	clean := *mf
+	clean.Checksum = ""
+	data, err := json.Marshal(&clean)
+	if err != nil {
+		return "", fmt.Errorf("modelio: hashing model: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Load deserializes a model file back into a usable recommender and its
@@ -97,13 +128,10 @@ func Save(w io.Writer, cat *model.Catalog, spec *dataio.HierarchySpec, rec *core
 func Load(r io.Reader) (*model.Catalog, *core.Recommender, error) {
 	var mf modelFile
 	if err := json.NewDecoder(r).Decode(&mf); err != nil {
-		return nil, nil, fmt.Errorf("modelio: %w", err)
+		return nil, nil, fmt.Errorf("modelio: decoding model (truncated or corrupt file?): %w", err)
 	}
-	if mf.Format != formatV1 {
-		return nil, nil, fmt.Errorf("modelio: unsupported format %q", mf.Format)
-	}
-	if mf.Tree == nil {
-		return nil, nil, fmt.Errorf("modelio: model has no covering tree")
+	if err := verifyHeader(&mf); err != nil {
+		return nil, nil, err
 	}
 
 	cat, err := dataio.DecodeCatalog(mf.Items, mf.Promos)
@@ -151,6 +179,54 @@ func SaveFile(path string, cat *model.Catalog, spec *dataio.HierarchySpec, rec *
 		return err
 	}
 	return f.Close()
+}
+
+// Verify checks a model stream's format version and payload checksum
+// without restoring the recommender — the cheap integrity probe used
+// before shipping a file to a serving fleet. v1 files (pre-checksum)
+// verify structurally only.
+func Verify(r io.Reader) error {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return fmt.Errorf("modelio: decoding model (truncated or corrupt file?): %w", err)
+	}
+	return verifyHeader(&mf)
+}
+
+// verifyHeader checks the format version, the v2+ payload checksum, and
+// the presence of the covering tree. v1 files (pre-checksum) pass on
+// format alone.
+func verifyHeader(mf *modelFile) error {
+	switch mf.Format {
+	case formatV2:
+		if mf.Checksum == "" {
+			return fmt.Errorf("modelio: %s file is missing its checksum", formatV2)
+		}
+		want, err := checksum(mf)
+		if err != nil {
+			return err
+		}
+		if mf.Checksum != want {
+			return fmt.Errorf("modelio: checksum mismatch (file corrupt?): header %.8s, content %.8s", mf.Checksum, want)
+		}
+	case formatV1:
+	default:
+		return fmt.Errorf("modelio: unsupported format %q", mf.Format)
+	}
+	if mf.Tree == nil {
+		return fmt.Errorf("modelio: model has no covering tree")
+	}
+	return nil
+}
+
+// VerifyFile is the path-based form of Verify.
+func VerifyFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Verify(f)
 }
 
 // LoadFile reads a model file from disk.

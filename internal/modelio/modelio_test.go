@@ -2,6 +2,7 @@ package modelio
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"path/filepath"
 	"strings"
@@ -219,5 +220,126 @@ func TestRestoreValidation(t *testing.T) {
 	_ = space
 	if _, err := core.Restore(space, nil, nil, 0, 0); err == nil {
 		t.Error("nil tree must fail")
+	}
+}
+
+// TestChecksumDetectsBitFlip is the corruption regression: a single bit
+// flipped inside the payload — still perfectly valid JSON — must be
+// caught by the v2 checksum instead of restoring a silently wrong model.
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	g, spec, rec := buildGrocery(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, g.Dataset.Catalog, spec, rec); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip one bit of the first item-name byte: "Beer" → "Ceer" keeps
+	// the JSON well-formed but changes the content.
+	ix := bytes.Index(data, []byte(`"Beer"`))
+	if ix < 0 {
+		t.Fatal("grocery model lost its Beer")
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[ix+1] ^= 0x01
+
+	if _, _, err := Load(bytes.NewReader(flipped)); err == nil ||
+		!strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("bit-flipped model: err = %v, want checksum mismatch", err)
+	}
+	if err := Verify(bytes.NewReader(flipped)); err == nil ||
+		!strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("Verify on bit-flipped model: err = %v", err)
+	}
+
+	// The pristine bytes still load and verify.
+	if _, _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine model: %v", err)
+	}
+	if err := Verify(bytes.NewReader(data)); err != nil {
+		t.Fatalf("Verify on pristine model: %v", err)
+	}
+}
+
+func TestTruncatedModelFailsClearly(t *testing.T) {
+	g, spec, rec := buildGrocery(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, g.Dataset.Catalog, spec, rec); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, frac := range []int{2, 4, 10} {
+		cut := data[:len(data)/frac]
+		_, _, err := Load(bytes.NewReader(cut))
+		if err == nil || !strings.Contains(err.Error(), "truncated or corrupt") {
+			t.Errorf("1/%d truncation: err = %v, want truncation message", frac, err)
+		}
+	}
+}
+
+// TestLoadAcceptsV1 keeps backward compatibility: files saved before the
+// checksum era (format v1, no checksum field) still load.
+func TestLoadAcceptsV1(t *testing.T) {
+	g, spec, rec := buildGrocery(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, g.Dataset.Catalog, spec, rec); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["format"] = "profitmining-model/v1"
+	delete(raw, "checksum")
+	v1, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rec2, err := Load(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if rec2.Stats().RulesFinal != rec.Stats().RulesFinal {
+		t.Error("v1 load changed the model")
+	}
+	if err := Verify(bytes.NewReader(v1)); err != nil {
+		t.Errorf("Verify on v1 file: %v", err)
+	}
+}
+
+// TestV2RequiresChecksum: a v2 file with its checksum stripped is
+// rejected — the field is the integrity contract, not an ornament.
+func TestV2RequiresChecksum(t *testing.T) {
+	g, spec, rec := buildGrocery(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, g.Dataset.Catalog, spec, rec); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	delete(raw, "checksum")
+	stripped, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(bytes.NewReader(stripped)); err == nil ||
+		!strings.Contains(err.Error(), "missing its checksum") {
+		t.Fatalf("checksum-stripped v2: err = %v", err)
+	}
+}
+
+func TestVerifyFile(t *testing.T) {
+	g, spec, rec := buildGrocery(t)
+	path := filepath.Join(t.TempDir(), "model.pmm")
+	if err := SaveFile(path, g.Dataset.Catalog, spec, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFile(path); err != nil {
+		t.Errorf("VerifyFile on good model: %v", err)
+	}
+	if err := VerifyFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("VerifyFile on missing file must fail")
 	}
 }

@@ -1,0 +1,125 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"profitmining/internal/modelio"
+)
+
+// Watcher polls a model file and feeds changed versions through the
+// registry's validation gate. Change detection is two-level: a cheap
+// stat (mtime + size) decides whether to read the file at all, and a
+// content hash decides whether the bytes are actually new — an
+// overwrite with identical content, or a touch(1), never restages.
+//
+// A candidate that fails to load or validate is remembered by hash so
+// the poll loop does not re-parse the same broken file every interval;
+// the active snapshot keeps serving.
+type Watcher struct {
+	reg      *Registry
+	path     string
+	interval time.Duration
+	logf     func(format string, args ...any)
+
+	// memo of the last poll; Check is callable from both the poll loop
+	// and /admin/reload, so the memo lives under a mutex.
+	mu       sync.Mutex
+	lastMod  time.Time
+	lastSize int64
+	lastHash string // last content hash seen, accepted or rejected
+}
+
+// NewWatcher creates a watcher over path polling at interval (minimum
+// 10ms). logf receives one line per state change (nil discards).
+func NewWatcher(reg *Registry, path string, interval time.Duration, logf func(string, ...any)) (*Watcher, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("registry: watcher needs a registry")
+	}
+	if path == "" {
+		return nil, fmt.Errorf("registry: watcher needs a model path")
+	}
+	if interval < 10*time.Millisecond {
+		return nil, fmt.Errorf("registry: poll interval %v below 10ms", interval)
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Watcher{reg: reg, path: path, interval: interval, logf: logf}, nil
+}
+
+// Run polls until ctx is done. The first poll happens immediately.
+func (w *Watcher) Run(ctx context.Context) {
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		if _, _, err := w.Check(); err != nil {
+			w.logf("registry: watch %s: %v", w.path, err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// Check performs one poll: stat, hash, load, validate, submit. It is
+// safe to call concurrently with the poll loop (/admin/reload does);
+// concurrent calls serialize. The returned snapshot is non-nil when the
+// outcome is Promoted or Staged.
+func (w *Watcher) Check() (*Snapshot, Outcome, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	info, err := os.Stat(w.path)
+	if err != nil {
+		return nil, Rejected, fmt.Errorf("stat model file: %w", err)
+	}
+	if info.ModTime().Equal(w.lastMod) && info.Size() == w.lastSize {
+		return nil, Unchanged, nil
+	}
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		return nil, Rejected, fmt.Errorf("read model file: %w", err)
+	}
+	// Memoize the stat only after a successful read, so a read that
+	// raced a writer is retried next poll.
+	w.lastMod, w.lastSize = info.ModTime(), info.Size()
+
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+	if hash == w.lastHash {
+		return nil, Unchanged, nil
+	}
+	w.lastHash = hash
+
+	cat, rec, err := modelio.Load(bytes.NewReader(data))
+	if err != nil {
+		w.logf("registry: candidate %s (%.8s) rejected: %v", w.path, hash, err)
+		return nil, Rejected, fmt.Errorf("load candidate: %w", err)
+	}
+	snap, outcome, err := w.reg.Submit(cat, rec, w.path, hash)
+	if err != nil {
+		w.logf("registry: candidate %s (%.8s) rejected: %v", w.path, hash, err)
+		return nil, outcome, err
+	}
+	w.logf("registry: version %d (%.8s) %s from %s", snap.Version, hash, outcome, w.path)
+	return snap, outcome, nil
+}
+
+// Path returns the watched model file.
+func (w *Watcher) Path() string { return w.path }
+
+// HashBytes is the content hash the watcher uses, exported so initial
+// loads outside the poll loop stamp snapshots identically.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,173 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"profitmining/internal/core"
+	"profitmining/internal/model"
+	"profitmining/internal/modelio"
+)
+
+// saveModel serializes a recommender the way profitminer -save does and
+// returns the bytes.
+func saveModel(t *testing.T, cat *model.Catalog, rec *core.Recommender) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := modelio.Save(&buf, cat, grocerySpec(), rec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// writeSeq makes every writeFile stamp a strictly increasing mtime, so
+// the watcher's stat-level change detection cannot miss a rewrite on
+// filesystems with coarse timestamps.
+var writeSeq atomic.Int64
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mtime := time.Now().Add(time.Duration(writeSeq.Add(1)) * 10 * time.Millisecond)
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatcherPromotesAndRejects(t *testing.T) {
+	catA, recA := buildGrocery(t, 800, 3)
+	catB, recB := buildGrocery(t, 1000, 7)
+	bytesA := saveModel(t, catA, recA)
+	bytesB := saveModel(t, catB, recB)
+	hashA, hashB := HashBytes(bytesA), HashBytes(bytesB)
+	if hashA == hashB {
+		t.Fatal("test models must differ")
+	}
+
+	path := filepath.Join(t.TempDir(), "model.pmm")
+	writeFile(t, path, bytesA)
+
+	reg, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWatcher(reg, path, 50*time.Millisecond, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Initial load promotes version 1.
+	snap, outcome, err := w.Check()
+	if err != nil || outcome != Promoted {
+		t.Fatalf("initial check: outcome %v, err %v", outcome, err)
+	}
+	if snap.Hash != hashA || reg.Active().Version != 1 {
+		t.Fatalf("initial snapshot: hash %.8s, version %d", snap.Hash, reg.Active().Version)
+	}
+
+	// Unchanged file: cheap no-op.
+	if _, outcome, err := w.Check(); err != nil || outcome != Unchanged {
+		t.Fatalf("unchanged check: outcome %v, err %v", outcome, err)
+	}
+
+	// Rewritten with identical content: the stat changes, the hash does
+	// not, so nothing restages.
+	writeFile(t, path, bytesA)
+	if _, outcome, err := w.Check(); err != nil || outcome != Unchanged {
+		t.Fatalf("identical rewrite: outcome %v, err %v", outcome, err)
+	}
+
+	// New content promotes version 2.
+	writeFile(t, path, bytesB)
+	snap, outcome, err = w.Check()
+	if err != nil || outcome != Promoted {
+		t.Fatalf("swap check: outcome %v, err %v", outcome, err)
+	}
+	if snap.Hash != hashB || reg.Active().Version != 2 {
+		t.Fatal("swap did not promote the new content")
+	}
+
+	// A corrupt file is rejected; version 2 keeps serving, and the next
+	// poll does not re-parse the same bad bytes.
+	writeFile(t, path, []byte(`{"format":"junk"`))
+	if _, outcome, err := w.Check(); err == nil || outcome != Rejected {
+		t.Fatalf("corrupt file: outcome %v, err %v", outcome, err)
+	}
+	if reg.Active().Hash != hashB {
+		t.Fatal("rejected candidate disturbed the active snapshot")
+	}
+	if _, outcome, err := w.Check(); err != nil || outcome != Unchanged {
+		t.Fatalf("watcher re-parsed a remembered bad file: outcome %v, err %v", outcome, err)
+	}
+
+	// Restoring good content recovers without restart.
+	writeFile(t, path, bytesA)
+	if _, outcome, err := w.Check(); err != nil || outcome != Promoted {
+		t.Fatalf("recovery: outcome %v, err %v", outcome, err)
+	}
+	if reg.Active().Version != 3 || reg.Active().Hash != hashA {
+		t.Fatal("recovery did not promote")
+	}
+}
+
+func TestWatcherRunPromotesWithinPollInterval(t *testing.T) {
+	catA, recA := buildGrocery(t, 800, 3)
+	catB, recB := buildGrocery(t, 1000, 7)
+	bytesA := saveModel(t, catA, recA)
+	bytesB := saveModel(t, catB, recB)
+
+	path := filepath.Join(t.TempDir(), "model.pmm")
+	writeFile(t, path, bytesA)
+
+	reg, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWatcher(reg, path, 20*time.Millisecond, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Active() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("initial model never promoted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	writeFile(t, path, bytesB)
+	want := HashBytes(bytesB)
+	for reg.Active().Hash != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("swap never promoted; active %.8s", reg.Active().Hash)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestNewWatcherValidation(t *testing.T) {
+	reg, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWatcher(nil, "x", time.Second, nil); err == nil {
+		t.Error("nil registry accepted")
+	}
+	if _, err := NewWatcher(reg, "", time.Second, nil); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := NewWatcher(reg, "x", time.Millisecond, nil); err == nil {
+		t.Error("sub-10ms interval accepted")
+	}
+}

@@ -3,6 +3,12 @@
 // models produced by this library. Baskets reference items by name and
 // promotion codes by their index within the item, matching the model-file
 // format of internal/modelio.
+//
+// The model is read through an internal/registry snapshot taken once per
+// request — a lock-free atomic load — so the registry can hot-swap
+// versions under live traffic without a request ever observing a torn
+// (catalog, recommender) pair. Every model-derived response carries the
+// serving version in the X-Model-Version header.
 package serve
 
 import (
@@ -13,10 +19,14 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"profitmining/internal/core"
 	"profitmining/internal/model"
+	"profitmining/internal/registry"
+	"profitmining/internal/stats"
 )
 
 // maxRecommendBody caps the size of a POST /recommend request. Baskets
@@ -25,36 +35,115 @@ import (
 // an unbounded body into the decoder.
 const maxRecommendBody = 1 << 20
 
-// Server wraps a recommender with HTTP handlers. The model is immutable
-// and the counters are atomic, so a single instance serves concurrent
-// requests.
+// versionHeader names the response header carrying the model version
+// that served the request.
+const versionHeader = "X-Model-Version"
+
+// endpoints is the fixed route set, used to key the per-endpoint
+// request counters.
+var endpoints = []string{"/healthz", "/catalog", "/rules", "/recommend", "/metrics", "/version", "/admin/reload"}
+
+// Reloader triggers one registry poll outside the watch loop — the
+// POST /admin/reload hook. A nil snapshot with Unchanged means the
+// model file has not changed.
+type Reloader func() (*registry.Snapshot, registry.Outcome, error)
+
+// Server wraps a model registry with HTTP handlers. The hot path takes
+// one atomic snapshot load per request; the counters are atomic and the
+// latency histogram is mutex-guarded, so a single instance serves
+// concurrent requests.
 type Server struct {
-	cat *model.Catalog
-	rec *core.Recommender
+	reg    *registry.Registry
+	reload Reloader // nil: /admin/reload answers 501
 
 	recommendations atomic.Int64
 	badRequests     atomic.Int64
+	requests        map[string]*atomic.Int64 // per-endpoint hit counters, fixed key set
+
+	latencyMu sync.Mutex
+	latency   *stats.Histogram // request latency, milliseconds
 }
 
-// New creates a Server for the given catalog and recommender.
+// New creates a Server over a fixed (catalog, recommender) pair — the
+// single-model deployment without hot swap. The pair still goes through
+// the registry's validation gate; New panics if it fails, since a fixed
+// deployment has no old version to fall back to and serving it would
+// 500 every request anyway.
 func New(cat *model.Catalog, rec *core.Recommender) *Server {
-	return &Server{cat: cat, rec: rec}
+	reg, err := registry.New(registry.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("serve: %v", err))
+	}
+	if _, _, err := reg.Submit(cat, rec, "static", ""); err != nil {
+		panic(fmt.Sprintf("serve: invalid model: %v", err))
+	}
+	return NewRegistry(reg, nil)
+}
+
+// NewRegistry creates a Server that reads its model through reg on
+// every request. reload, when non-nil, backs POST /admin/reload.
+func NewRegistry(reg *registry.Registry, reload Reloader) *Server {
+	s := &Server{
+		reg:      reg,
+		reload:   reload,
+		requests: make(map[string]*atomic.Int64, len(endpoints)),
+		// 40 bins over [0, 20ms): basket scoring is sub-millisecond, so
+		// the clamp bin at 20ms doubles as the slow-request counter.
+		latency: stats.NewHistogram(0, 20, 40),
+	}
+	for _, ep := range endpoints {
+		s.requests[ep] = new(atomic.Int64)
+	}
+	return s
 }
 
 // Handler returns the HTTP routes:
 //
-//	GET  /healthz     — liveness plus model size
-//	GET  /catalog     — items and promotion codes
-//	GET  /rules?limit — final rules in MPF rank order
-//	POST /recommend   — score a basket (optionally top-K)
+//	GET  /healthz      — liveness plus model size
+//	GET  /catalog      — items and promotion codes
+//	GET  /rules?limit  — final rules in MPF rank order
+//	POST /recommend    — score a basket (optionally top-K)
+//	GET  /metrics      — counters and request-latency histogram
+//	GET  /version      — active model version, hash, staged candidate, shadow stats
+//	POST /admin/reload — poll the model file now (501 without a reloader)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.health)
-	mux.HandleFunc("/catalog", s.catalog)
-	mux.HandleFunc("/rules", s.rules)
-	mux.HandleFunc("/recommend", s.recommend)
-	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.health))
+	mux.HandleFunc("/catalog", s.instrument("/catalog", s.catalog))
+	mux.HandleFunc("/rules", s.instrument("/rules", s.rules))
+	mux.HandleFunc("/recommend", s.instrument("/recommend", s.recommend))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.metrics))
+	mux.HandleFunc("/version", s.instrument("/version", s.version))
+	mux.HandleFunc("/admin/reload", s.instrument("/admin/reload", s.adminReload))
 	return mux
+}
+
+// instrument counts the request against its endpoint and records its
+// wall-clock latency in the shared histogram.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.requests[name].Add(1)
+		h(w, r)
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		s.latencyMu.Lock()
+		s.latency.Add(ms)
+		s.latencyMu.Unlock()
+	}
+}
+
+// snapshot returns the active model or answers 503 (nil snapshot means
+// the registry has not promoted anything yet). Handlers must call it
+// exactly once per request and use only the returned pair, never the
+// registry again — that is the no-torn-reads discipline.
+func (s *Server) snapshot(w http.ResponseWriter) *registry.Snapshot {
+	snap := s.reg.Active()
+	if snap == nil {
+		s.fail(w, http.StatusServiceUnavailable, "no model loaded yet")
+		return nil
+	}
+	w.Header().Set(versionHeader, strconv.Itoa(snap.Version))
+	return snap
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
@@ -62,11 +151,97 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	reqs := make(map[string]int64, len(s.requests))
+	for ep, c := range s.requests {
+		reqs[ep] = c.Load()
+	}
+	s.latencyMu.Lock()
+	lat := map[string]any{
+		"count":  s.latency.N(),
+		"meanMs": s.latency.Mean(),
+		"binMs":  (s.latency.Max - s.latency.Min) / float64(len(s.latency.Counts)),
+		"counts": append([]int64(nil), s.latency.Counts...),
+	}
+	s.latencyMu.Unlock()
+
+	body := map[string]any{
 		"recommendations": s.recommendations.Load(),
 		"badRequests":     s.badRequests.Load(),
-		"rules":           s.rec.Stats().RulesFinal,
-	})
+		"requests":        reqs,
+		"latency":         lat,
+	}
+	if snap := s.reg.Active(); snap != nil {
+		body["rules"] = snap.Rec.Stats().RulesFinal
+		body["modelVersion"] = snap.Version
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// version reports the deployment state: the active snapshot, the staged
+// candidate (if any), and its shadow-scoring stats.
+func (s *Server) version(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	body := map[string]any{}
+	if snap := s.reg.Active(); snap != nil {
+		w.Header().Set(versionHeader, strconv.Itoa(snap.Version))
+		body["version"] = snap.Version
+		body["hash"] = snap.Hash
+		body["source"] = snap.Source
+		body["loadedAt"] = snap.LoadedAt
+		body["rules"] = snap.Rec.Stats().RulesFinal
+	}
+	if staged := s.reg.Staged(); staged != nil {
+		st := map[string]any{
+			"version": staged.Version,
+			"hash":    staged.Hash,
+			"source":  staged.Source,
+		}
+		if stats, ok := s.reg.ShadowStats(); ok {
+			st["shadow"] = map[string]any{
+				"sampled":         stats.Sampled,
+				"agreed":          stats.Agreed,
+				"errors":          stats.Errors,
+				"agreementRate":   stats.AgreementRate(),
+				"meanProfitDelta": stats.MeanProfitDelta(),
+			}
+		}
+		body["staged"] = st
+	}
+	if len(body) == 0 {
+		s.fail(w, http.StatusServiceUnavailable, "no model loaded yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// adminReload polls the model file immediately instead of waiting for
+// the next watch tick.
+func (s *Server) adminReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.reload == nil {
+		s.fail(w, http.StatusNotImplemented, "server is not watching a model file")
+		return
+	}
+	snap, outcome, err := s.reload()
+	body := map[string]any{"outcome": outcome.String()}
+	if err != nil {
+		body["error"] = err.Error()
+	}
+	if snap != nil {
+		body["version"] = snap.Version
+		body["hash"] = snap.Hash
+	}
+	code := http.StatusOK
+	if outcome == registry.Rejected {
+		code = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, code, body)
 }
 
 // saleJSON is one basket line in a scoring request.
@@ -97,6 +272,7 @@ type recommendationJSON struct {
 
 type recommendResponse struct {
 	Recommendations []recommendationJSON `json:"recommendations"`
+	ModelVersion    int                  `json:"modelVersion"`
 }
 
 type errorResponse struct {
@@ -108,16 +284,24 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
-		"rules":  s.rec.Stats().RulesFinal,
-		"items":  s.cat.NumItems(),
+		"rules":  snap.Rec.Stats().RulesFinal,
+		"items":  snap.Cat.NumItems(),
 	})
 }
 
 func (s *Server) catalog(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap := s.snapshot(w)
+	if snap == nil {
 		return
 	}
 	type promoJSON struct {
@@ -132,10 +316,10 @@ func (s *Server) catalog(w http.ResponseWriter, r *http.Request) {
 		Promos []promoJSON `json:"promos"`
 	}
 	var items []itemJSON
-	for _, it := range s.cat.Items() {
+	for _, it := range snap.Cat.Items() {
 		ij := itemJSON{Name: it.Name, Target: it.Target}
-		for i, pid := range s.cat.Promos(it.ID) {
-			p := s.cat.Promo(pid)
+		for i, pid := range snap.Cat.Promos(it.ID) {
+			p := snap.Cat.Promo(pid)
 			ij.Promos = append(ij.Promos, promoJSON{PromoIx: i, Price: p.Price, Cost: p.Cost, Packing: p.Packing})
 		}
 		items = append(items, ij)
@@ -148,6 +332,10 @@ func (s *Server) rules(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
 	limit := 50
 	if q := r.URL.Query().Get("limit"); q != "" {
 		v, err := strconv.Atoi(q)
@@ -157,14 +345,17 @@ func (s *Server) rules(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = v
 	}
-	var out []string
-	for i, rule := range s.rec.Rules() {
-		if i == limit {
-			break
-		}
-		out = append(out, rule.String(s.rec.Space()))
+	// Cap at the real rule count before sizing anything: limit comes off
+	// the wire and must not drive an allocation.
+	final := snap.Rec.Rules()
+	if limit > len(final) {
+		limit = len(final)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"rules": out, "total": s.rec.Stats().RulesFinal})
+	out := make([]string, 0, limit)
+	for _, rule := range final[:limit] {
+		out = append(out, rule.String(snap.Rec.Space()))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rules": out, "total": snap.Rec.Stats().RulesFinal})
 }
 
 func (s *Server) recommend(w http.ResponseWriter, r *http.Request) {
@@ -191,7 +382,11 @@ func (s *Server) recommend(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
-	basket, err := s.decodeBasket(req.Basket)
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	basket, err := decodeBasket(snap.Cat, req.Basket)
 	if err != nil {
 		s.badRequests.Add(1)
 		s.fail(w, http.StatusBadRequest, err.Error())
@@ -202,43 +397,85 @@ func (s *Server) recommend(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 {
 		k = 1
 	}
-	recs := s.rec.RecommendTopK(basket, k)
-	resp := recommendResponse{}
+	recs := snap.Rec.RecommendTopK(basket, k)
+	resp := recommendResponse{ModelVersion: snap.Version}
 	for _, rec := range recs {
-		promo := s.cat.Promo(rec.Promo)
-		ix := 0
-		for i, pid := range s.cat.Promos(rec.Item) {
-			if pid == rec.Promo {
-				ix = i
-			}
-		}
-		resp.Recommendations = append(resp.Recommendations, recommendationJSON{
-			Item:    s.cat.Item(rec.Item).Name,
-			PromoIx: ix,
-			Price:   promo.Price,
-			Cost:    promo.Cost,
-			Packing: promo.Packing,
-			Profit:  promo.Profit(),
-			ProfRe:  rec.Rule.ProfRe(),
-			Conf:    rec.Rule.Conf(),
-			Rule:    rec.Rule.String(s.rec.Space()),
-			Explain: s.rec.Explain(rec),
-		})
+		resp.Recommendations = append(resp.Recommendations, encodeRecommendation(snap, rec))
 	}
+	s.shadowScore(snap, req.Basket, recs)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) decodeBasket(sales []saleJSON) (model.Basket, error) {
+// shadowScore replays the request against a staged candidate when the
+// registry asks for a sample, comparing top-1 answers and profit. It
+// runs after the live response is computed; its cost is bounded by the
+// shadow fraction and never touches the response.
+func (s *Server) shadowScore(active *registry.Snapshot, wire []saleJSON, activeRecs []core.Recommendation) {
+	cand := s.reg.ShadowSnapshot()
+	if cand == nil || len(activeRecs) == 0 {
+		return
+	}
+	basket, err := decodeBasket(cand.Cat, wire)
+	if err != nil {
+		// The candidate cannot even parse a basket the active model
+		// served — a strong demotion signal, recorded as an error.
+		s.reg.RecordShadow(cand, false, 0, err)
+		return
+	}
+	candRecs := cand.Rec.RecommendTopK(basket, 1)
+	if len(candRecs) == 0 {
+		s.reg.RecordShadow(cand, false, 0, errors.New("no recommendation"))
+		return
+	}
+	a, c := activeRecs[0], candRecs[0]
+	// Compare structurally (names and promo index), since item and promo
+	// IDs are private to each snapshot's catalog.
+	agreed := active.Cat.Item(a.Item).Name == cand.Cat.Item(c.Item).Name &&
+		promoIndex(active.Cat, a.Item, a.Promo) == promoIndex(cand.Cat, c.Item, c.Promo)
+	delta := cand.Cat.Promo(c.Promo).Profit() - active.Cat.Promo(a.Promo).Profit()
+	s.reg.RecordShadow(cand, agreed, delta, nil)
+}
+
+// promoIndex maps a promo ID back to its wire-format index within its
+// item's ladder (-1 if absent, which cannot happen for a valid model).
+func promoIndex(cat *model.Catalog, item model.ItemID, promo model.PromoID) int {
+	for i, pid := range cat.Promos(item) {
+		if pid == promo {
+			return i
+		}
+	}
+	return -1
+}
+
+// encodeRecommendation renders one recommendation against the snapshot
+// that produced it.
+func encodeRecommendation(snap *registry.Snapshot, rec core.Recommendation) recommendationJSON {
+	promo := snap.Cat.Promo(rec.Promo)
+	return recommendationJSON{
+		Item:    snap.Cat.Item(rec.Item).Name,
+		PromoIx: promoIndex(snap.Cat, rec.Item, rec.Promo),
+		Price:   promo.Price,
+		Cost:    promo.Cost,
+		Packing: promo.Packing,
+		Profit:  promo.Profit(),
+		ProfRe:  rec.Rule.ProfRe(),
+		Conf:    rec.Rule.Conf(),
+		Rule:    rec.Rule.String(snap.Rec.Space()),
+		Explain: snap.Rec.Explain(rec),
+	}
+}
+
+func decodeBasket(cat *model.Catalog, sales []saleJSON) (model.Basket, error) {
 	var basket model.Basket
 	for i, sj := range sales {
-		item, ok := s.cat.ItemByName(sj.Item)
+		item, ok := cat.ItemByName(sj.Item)
 		if !ok {
 			return nil, fmt.Errorf("basket[%d]: unknown item %q", i, sj.Item)
 		}
-		if s.cat.Item(item).Target {
+		if cat.Item(item).Target {
 			return nil, fmt.Errorf("basket[%d]: %q is a target item; baskets hold non-target sales", i, sj.Item)
 		}
-		promos := s.cat.Promos(item)
+		promos := cat.Promos(item)
 		if sj.PromoIx < 0 || sj.PromoIx >= len(promos) {
 			return nil, fmt.Errorf("basket[%d]: item %q has no promo index %d", i, sj.Item, sj.PromoIx)
 		}

@@ -316,3 +316,97 @@ type statusError string
 func (e statusError) Error() string { return string(e) }
 
 var errStatus error = statusError("unexpected status code")
+
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := getJSON(t, ts.URL+"/version")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if body["version"].(float64) != 1 {
+		t.Errorf("version = %v, want 1", body["version"])
+	}
+	if body["rules"].(float64) <= 0 {
+		t.Error("version must report the rule count")
+	}
+	if resp.Header.Get("X-Model-Version") != "1" {
+		t.Errorf("X-Model-Version = %q, want 1", resp.Header.Get("X-Model-Version"))
+	}
+	if _, staged := body["staged"]; staged {
+		t.Error("static deployment must not report a staged candidate")
+	}
+}
+
+func TestRecommendCarriesModelVersion(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/recommend",
+		`{"basket":[{"item":"Beer","promoIx":0,"qty":1}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if body["modelVersion"].(float64) != 1 {
+		t.Errorf("modelVersion = %v, want 1", body["modelVersion"])
+	}
+	if resp.Header.Get("X-Model-Version") != "1" {
+		t.Errorf("X-Model-Version = %q, want 1", resp.Header.Get("X-Model-Version"))
+	}
+}
+
+func TestRulesLimitCappedAtRuleCount(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := getJSON(t, ts.URL+"/rules?limit=1000000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	rules := body["rules"].([]any)
+	total := int(body["total"].(float64))
+	if len(rules) != total {
+		t.Errorf("limit beyond the rule count returned %d rules, want all %d", len(rules), total)
+	}
+}
+
+func TestMetricsPerEndpointAndLatency(t *testing.T) {
+	_, ts := newTestServer(t)
+	getJSON(t, ts.URL+"/healthz")
+	postJSON(t, ts.URL+"/recommend", `{"basket":[{"item":"Beer","promoIx":0}]}`)
+	postJSON(t, ts.URL+"/recommend", `{"basket":[{"item":"Beer","promoIx":0}]}`)
+
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	reqs := body["requests"].(map[string]any)
+	if got := reqs["/healthz"].(float64); got != 1 {
+		t.Errorf("requests[/healthz] = %v, want 1", got)
+	}
+	if got := reqs["/recommend"].(float64); got != 2 {
+		t.Errorf("requests[/recommend] = %v, want 2", got)
+	}
+	lat := body["latency"].(map[string]any)
+	// /metrics itself is instrumented but its own latency is recorded
+	// after the response renders, so 3 observations are guaranteed.
+	if got := lat["count"].(float64); got < 3 {
+		t.Errorf("latency count = %v, want >= 3", got)
+	}
+	if lat["binMs"].(float64) <= 0 || len(lat["counts"].([]any)) == 0 {
+		t.Errorf("latency histogram malformed: %v", lat)
+	}
+	if body["modelVersion"].(float64) != 1 {
+		t.Errorf("modelVersion = %v, want 1", body["modelVersion"])
+	}
+}
+
+func TestAdminReloadWithoutWatcher(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("reload without a watcher = %d, want 501", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/admin/reload"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /admin/reload = %d, want 405", resp.StatusCode)
+	}
+}

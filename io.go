@@ -58,6 +58,15 @@ func LoadModel(path string) (*Catalog, *Recommender, error) {
 	return modelio.LoadFile(path)
 }
 
+// VerifyModel checks a saved model's format version and payload
+// checksum without restoring it — cheap corruption detection before
+// deploying a file to a serving fleet. Models saved by current versions
+// embed a checksum; files from before the checksum era verify
+// structurally only.
+func VerifyModel(path string) error {
+	return modelio.VerifyFile(path)
+}
+
 // WriteModel and ReadModel are the stream forms of SaveModel/LoadModel.
 func WriteModel(w io.Writer, cat *Catalog, spec *HierarchySpec, rec *Recommender) error {
 	return modelio.Save(w, cat, spec, rec)

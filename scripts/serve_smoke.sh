@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end proof of the model hot-swap lifecycle.
+#
+# Builds two models from one dataset, starts profitserve -watch on the
+# first, then overwrites the model file and polls GET /version until the
+# new content hash is active (fails on timeout). Along the way it checks
+# that traffic keeps flowing during the swap, that a corrupt candidate
+# is rejected while the old version keeps serving, and that SIGTERM
+# drains cleanly.
+set -euo pipefail
+
+ADDR="127.0.0.1:${SMOKE_PORT:-18080}"
+BASE="http://$ADDR"
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+json_field() { # json_field <field> — first string value of "field" on stdin
+    grep -o "\"$1\":\"[^\"]*\"" | head -n1 | cut -d'"' -f4
+}
+
+echo "== building two distinct models"
+go run ./cmd/profitgen -dataset I -txns 4000 -items 80 -out "$workdir/data.pmjl"
+go run ./cmd/profitminer -in "$workdir/data.pmjl" -minsup 0.01 -save "$workdir/m1.pmm" >/dev/null
+go run ./cmd/profitminer -in "$workdir/data.pmjl" -minsup 0.004 -save "$workdir/m2.pmm" >/dev/null
+cmp -s "$workdir/m1.pmm" "$workdir/m2.pmm" && fail "the two models are byte-identical; smoke needs distinct hashes"
+
+echo "== starting profitserve -watch"
+go build -o "$workdir/profitserve" ./cmd/profitserve
+cp "$workdir/m1.pmm" "$workdir/model.pmm"
+"$workdir/profitserve" -model "$workdir/model.pmm" -watch -poll 250ms -addr "$ADDR" &
+server_pid=$!
+
+for i in $(seq 1 50); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+    [ "$i" = 50 ] && fail "server never came up"
+    sleep 0.2
+done
+
+hash1=$(curl -sf "$BASE/version" | json_field hash)
+[ -n "$hash1" ] || fail "/version returned no hash"
+echo "   serving $hash1"
+
+echo "== swapping the model file on disk"
+cp "$workdir/m2.pmm" "$workdir/model.pmm"
+hash2=""
+for i in $(seq 1 60); do
+    # Traffic must keep flowing while the watcher stages and promotes.
+    curl -sf "$BASE/rules?limit=3" >/dev/null || fail "request dropped during swap"
+    hash2=$(curl -sf "$BASE/version" | json_field hash)
+    [ -n "$hash2" ] && [ "$hash2" != "$hash1" ] && break
+    [ "$i" = 60 ] && fail "new model never promoted (still $hash1)"
+    sleep 0.5
+done
+echo "   promoted $hash2"
+
+echo "== corrupt candidate must be rejected with the old version serving"
+echo '{"format":"garbage"' > "$workdir/model.pmm"
+out=$(curl -s -X POST "$BASE/admin/reload")
+echo "$out" | grep -q '"outcome":"rejected"' || fail "corrupt reload not rejected: $out"
+now=$(curl -sf "$BASE/version" | json_field hash)
+[ "$now" = "$hash2" ] || fail "corrupt candidate disturbed serving: $now"
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$server_pid"
+drained=1
+for i in $(seq 1 50); do
+    if ! kill -0 "$server_pid" 2>/dev/null; then drained=0; break; fi
+    sleep 0.2
+done
+[ "$drained" = 0 ] || fail "server did not exit after SIGTERM"
+wait "$server_pid" || fail "server exited nonzero on graceful shutdown"
+server_pid=""
+
+echo "serve-smoke: OK (swapped $hash1 -> $hash2, rejection safe, drain clean)"
