@@ -45,6 +45,10 @@ func main() {
 		parCheck   = flag.Bool("parcheck", false, "instead of the figure sweep, build serial vs parallel, verify byte-identical models and report timings")
 		parWorkers = flag.Int("parworkers", 4, "parallel-build worker count for -parcheck")
 		parOut     = flag.String("parout", "BENCH_parallel.json", "where -parcheck writes its JSON report")
+
+		serveBench = flag.Bool("servebench", false, "instead of the figure sweep, benchmark the recommend hot path and serving endpoints, enforce the 0-alloc budget and write a JSON report")
+		serveReqs  = flag.Int("servereqs", 200, "batch requests timed for the -servebench latency percentiles")
+		serveOut   = flag.String("serveout", "BENCH_serve.json", "where -servebench writes its JSON report")
 	)
 	flag.Parse()
 
@@ -67,6 +71,10 @@ func main() {
 
 	if *parCheck {
 		runParCheck(names[0], *txns, *items, sups[0], *maxLen, *seed, *parWorkers, *parOut)
+		return
+	}
+	if *serveBench {
+		runServeBench(names[0], *txns, *items, sups[0], *maxLen, *seed, *serveReqs, *serveOut)
 		return
 	}
 

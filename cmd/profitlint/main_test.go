@@ -18,7 +18,7 @@ func TestRegisteredSuite(t *testing.T) {
 		}
 		names = append(names, a.Name)
 	}
-	want := []string{"detguard", "droppederr", "floatcmp", "rankorder"}
+	want := []string{"detguard", "droppederr", "floatcmp", "hotpath", "rankorder"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("registered analyzers = %v, want %v", names, want)
 	}

@@ -19,7 +19,11 @@
 //
 // Endpoints: GET /healthz, GET /catalog, GET /rules?limit=N,
 // GET /metrics, GET /version, POST /admin/reload,
-// POST /recommend {"basket":[{"item":"Beer","promoIx":0,"qty":1}],"k":2}.
+// POST /recommend {"basket":[{"item":"Beer","promoIx":0,"qty":1}],"k":2},
+// POST /recommend/batch {"baskets":[{"basket":[...],"k":2}, ...]}.
+//
+// -pprof localhost:6060 additionally serves the net/http/pprof profiling
+// endpoints on a separate, operator-only listener.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
 // requests finish (bounded by -drain), then the process exits.
@@ -53,6 +57,7 @@ func main() {
 		shadow    = flag.Float64("shadow", 0, "fraction of live traffic replayed against a staged candidate before promotion (0 = promote immediately)")
 		samples   = flag.Int("shadow-samples", 32, "shadowed requests required before a staged candidate auto-promotes")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default")
 	)
 	flag.Parse()
 
@@ -112,6 +117,22 @@ func main() {
 	active := reg.Active()
 	log.Printf("serving version %d: %d rules over %d items on %s",
 		active.Version, active.Rec.Stats().RulesFinal, active.Cat.NumItems(), *addr)
+
+	if *pprofAddr != "" {
+		// The profiling mux listens on its own, operator-chosen address;
+		// it is never mounted on the public serving port.
+		admin := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           serve.AdminHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("pprof admin mux on %s", *pprofAddr)
+			if err := admin.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof admin mux: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

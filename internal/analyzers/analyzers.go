@@ -8,6 +8,8 @@
 //   - detguard: mining and recommendation are deterministic — no global
 //     rand, no wall clock, no unordered map iteration feeding output.
 //   - droppederr: error values are never silently discarded.
+//   - hotpath: functions annotated //hot:path (the per-request scoring
+//     pipeline) never allocate maps per call.
 //
 // The checks run in CI via `go vet -vettool` (see cmd/profitlint) so a
 // violating change fails the build instead of surfacing as a flaky
@@ -31,6 +33,7 @@ func All() []*analysis.Analyzer {
 		Detguard,
 		Droppederr,
 		Floatcmp,
+		Hotpath,
 		Rankorder,
 	}
 }

@@ -1,0 +1,97 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"profitmining/internal/analysis"
+)
+
+// Hotpath polices functions annotated as allocation-free serving paths.
+// A function whose doc comment carries a `//hot:path` line is part of
+// the per-request scoring pipeline (Recommend, basket expansion, the
+// matcher walks); the zero-allocation guarantee there rests on pooled
+// scratch buffers and dense index-keyed tables, and a single map
+// allocated per call silently reintroduces garbage the benchmarks catch
+// only after the fact. The analyzer flags, inside annotated functions
+// (including their function literals):
+//
+//   - make(map[...]...), and
+//   - map composite literals (map[K]V{...}),
+//
+// both of which always heap-allocate. The fix is a pooled scratch
+// struct (sync.Pool) or a dense slice indexed by the ID space, as in
+// internal/core's bestPerItem table. A map that genuinely must be built
+// per call states why with //lint:allow hotpath -- <why>.
+//
+// The marker is the contract: unannotated functions are never flagged,
+// so the check rides along with the annotation wherever hot code moves.
+var Hotpath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "flags per-call map allocation inside functions annotated //hot:path, which must stay allocation-free",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn.Doc) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				checkHotAlloc(pass, fn.Name.Name, n)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether a doc comment contains a `//hot:path` line.
+// The marker must be the whole comment line (like a build tag or a
+// go:generate directive), not a substring of prose.
+func isHotPath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//hot:path" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotAlloc(pass *analysis.Pass, fn string, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" || len(n.Args) == 0 {
+			return
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return
+		}
+		if isMapType(pass.TypesInfo.TypeOf(n.Args[0])) {
+			pass.Reportf(n.Pos(), "hotpath: make(map) in //hot:path function %s allocates per call; use pooled scratch or a dense slice indexed by ID (or //lint:allow hotpath -- <why>)", fn)
+		}
+	case *ast.CompositeLit:
+		if isMapType(pass.TypesInfo.TypeOf(n)) {
+			pass.Reportf(n.Pos(), "hotpath: map literal in //hot:path function %s allocates per call; use pooled scratch or a dense slice indexed by ID (or //lint:allow hotpath -- <why>)", fn)
+		}
+	}
+}
+
+// isMapType reports whether t is a map type (through named types).
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,68 @@
+// Package hotpathfix is a hotpath fixture: map allocation inside a
+// function annotated //hot:path is flagged; unannotated functions,
+// non-map allocation and justified suppressions are not.
+package hotpathfix
+
+type itemID int32
+
+type scratch struct {
+	best    []int
+	touched []itemID
+}
+
+// score is the annotated serving path: every map it builds per call is
+// a diagnostic.
+//
+//hot:path
+func score(sc *scratch, xs []itemID) int {
+	seen := make(map[itemID]bool, len(xs)) // want `hotpath: make\(map\) in //hot:path function score`
+	counts := map[itemID]int{}             // want `hotpath: map literal in //hot:path function score`
+	for _, x := range xs {
+		seen[x] = true
+		counts[x]++
+	}
+	// Function literals inside a hot function are part of it.
+	build := func() map[itemID]int {
+		return make(map[itemID]int) // want `hotpath: make\(map\) in //hot:path function score`
+	}
+	_ = build
+	return len(seen)
+}
+
+// lookup shows the sanctioned shapes: dense slices indexed by the ID
+// space and pooled scratch reuse allocate nothing per call.
+//
+//hot:path
+func lookup(sc *scratch, xs []itemID) int {
+	sc.best = sc.best[:0]
+	sc.touched = sc.touched[:0]
+	hits := 0
+	for _, x := range xs {
+		sc.touched = append(sc.touched, x)
+		hits++
+	}
+	buf := make([]int, 0, len(xs)) // slices are fine: callers pass pooled storage where it matters
+	_ = buf
+	return hits
+}
+
+// interned builds a map once per call by design — the justification
+// makes it reviewable instead of silently exempt.
+//
+//hot:path
+func interned(names []string) map[string]int {
+	out := make(map[string]int, len(names)) //lint:allow hotpath -- fixture: result map is the function's product, not scratch
+	for i, n := range names {
+		out[n] = i
+	}
+	return out
+}
+
+// cold is not annotated, so its maps are nobody's business.
+func cold(xs []itemID) map[itemID]bool {
+	seen := make(map[itemID]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return seen
+}

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"profitmining/internal/hierarchy"
 	"profitmining/internal/mining"
@@ -85,6 +86,37 @@ type Recommender struct {
 	// item alone. RecommendTopK uses it to offer a distinct best rule per
 	// item even when global MPF domination kept only one head per body.
 	alternates *rules.Matcher
+
+	// ruleNode indexes the covering tree by rule, so Explain is one map
+	// lookup instead of a recursive tree search per call. Alternate rules
+	// that were pruned from (or never entered) the tree are absent.
+	ruleNode map[*rules.Rule]*Node
+
+	// scratch pools the per-call working state of Recommend and
+	// RecommendTopK, keyed per recommender because the dense
+	// best-per-item table is sized to this model's catalog.
+	scratch sync.Pool
+}
+
+// scratch is the reusable per-call state of the recommend hot path. All
+// slices keep their backing storage between calls; bestPerItem is a
+// dense table indexed by model.ItemID (assigned from 1, so its length
+// is NumItems()+1) that is cleared back to nil via the touched list —
+// O(touched), not O(items) — before the scratch is returned.
+type scratch struct {
+	expanded    []hierarchy.GenID
+	matches     []*rules.Rule
+	bestPerItem []*rules.Rule
+	touched     []model.ItemID
+	rest        []*rules.Rule
+}
+
+func (r *Recommender) getScratch() *scratch {
+	return r.scratch.Get().(*scratch)
+}
+
+func (r *Recommender) putScratch(sc *scratch) {
+	r.scratch.Put(sc)
 }
 
 // Recommendation is one recommended (target item, promotion code) pair
@@ -162,21 +194,42 @@ func Build(space *hierarchy.Space, txns []model.Transaction, mined *mining.Resul
 	// model persistence — is identical across runs.
 	rules.SortByRank(alt)
 
+	return assemble(space, root, final, alt, len(all), len(kept)), nil
+}
+
+// assemble wires the derived serving structures — matchers, the
+// rule-to-node index, and the pooled per-call scratch — around a built
+// or restored covering tree. final must be collectRules(root) in rank
+// order; alt is the per-item alternate rule list in rank order.
+func assemble(space *hierarchy.Space, root *Node, final, alt []*rules.Rule, generated, nonDominated int) *Recommender {
 	r := &Recommender{
 		space:      space,
 		final:      final,
 		matcher:    rules.NewMatcher(final),
 		alternates: rules.NewMatcher(alt),
 		tree:       root,
+		ruleNode:   make(map[*rules.Rule]*Node, len(final)),
 		stats: BuildStats{
-			RulesGenerated:    len(all),
-			RulesNonDominated: len(kept),
+			RulesGenerated:    generated,
+			RulesNonDominated: nonDominated,
 			RulesFinal:        len(final),
 			ProjectedProfit:   treeProjected(root),
 			TreeDepth:         depth(root),
 		},
 	}
-	return r, nil
+	var index func(*Node)
+	index = func(n *Node) {
+		r.ruleNode[n.Rule] = n
+		for _, c := range n.Children {
+			index(c)
+		}
+	}
+	index(root)
+	numItems := space.Catalog().NumItems()
+	r.scratch.New = func() any {
+		return &scratch{bestPerItem: make([]*rules.Rule, numItems+1)}
+	}
+	return r
 }
 
 // Restore reassembles a Recommender from a previously built covering
@@ -194,20 +247,7 @@ func Restore(space *hierarchy.Space, root *Node, alternates []*rules.Rule, gener
 	}
 	final := collectRules(root)
 	rules.SortByRank(final)
-	return &Recommender{
-		space:      space,
-		final:      final,
-		matcher:    rules.NewMatcher(final),
-		alternates: rules.NewMatcher(alternates),
-		tree:       root,
-		stats: BuildStats{
-			RulesGenerated:    generated,
-			RulesNonDominated: nonDominated,
-			RulesFinal:        len(final),
-			ProjectedProfit:   treeProjected(root),
-			TreeDepth:         depth(root),
-		},
-	}, nil
+	return assemble(space, root, final, alternates, generated, nonDominated), nil
 }
 
 // Alternates returns the per-item alternate rules backing RecommendTopK,
@@ -231,10 +271,19 @@ func depth(n *Node) int {
 // Recommend returns the MPF recommendation for a basket of non-target
 // sales: the highest-ranked matching rule's head. The default rule
 // guarantees a recommendation for any basket.
+//
+// The steady-state path is allocation-free: basket expansion merges
+// precomputed per-sale ancestor lists into a pooled buffer and the
+// matcher walk carries no per-call state.
+//
+//hot:path
 func (r *Recommender) Recommend(basket model.Basket) Recommendation {
-	expanded := r.space.ExpandBasket(basket)
-	best := r.matcher.Best(expanded)
-	return r.toRecommendation(best)
+	sc := r.getScratch()
+	sc.expanded = r.space.ExpandBasketInto(sc.expanded, basket)
+	best := r.matcher.Best(sc.expanded)
+	rec := r.toRecommendation(best)
+	r.putScratch(sc)
+	return rec
 }
 
 // RecommendTopK returns up to k recommendations for distinct target
@@ -247,35 +296,61 @@ func (r *Recommender) RecommendTopK(basket model.Basket, k int) []Recommendation
 	if k <= 0 {
 		return nil
 	}
-	expanded := r.space.ExpandBasket(basket)
-	first := r.matcher.Best(expanded)
-	out := []Recommendation{r.toRecommendation(first)}
+	return r.RecommendTopKInto(nil, basket, k)
+}
+
+// RecommendTopKInto is RecommendTopK appending into dst's backing
+// storage — the serving hot path passes a pooled slice so a steady-state
+// call allocates nothing. The result is identical to RecommendTopK.
+//
+//hot:path
+func (r *Recommender) RecommendTopKInto(dst []Recommendation, basket model.Basket, k int) []Recommendation {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
+	sc := r.getScratch()
+	sc.expanded = r.space.ExpandBasketInto(sc.expanded, basket)
+	first := r.matcher.Best(sc.expanded)
+	dst = append(dst, r.toRecommendation(first))
 	if k == 1 {
-		return out
+		r.putScratch(sc)
+		return dst
 	}
 
-	bestPerItem := map[model.ItemID]*rules.Rule{}
-	r.alternates.MatchAll(expanded, func(rule *rules.Rule) {
+	// Best matching alternate per remaining target item, in a dense
+	// table indexed by item ID. The MPF winner's item is skipped during
+	// the scan — filling its slot only to discard it afterwards would
+	// waste both the rank comparisons and the table operation.
+	firstItem := r.space.ItemOf(first.Head)
+	sc.matches = r.alternates.AppendMatches(sc.matches[:0], sc.expanded)
+	sc.touched = sc.touched[:0]
+	for _, rule := range sc.matches {
 		item := r.space.ItemOf(rule.Head)
-		if cur, ok := bestPerItem[item]; !ok || rules.Outranks(rule, cur) {
-			bestPerItem[item] = rule
+		if item == firstItem {
+			continue
 		}
-	})
-	delete(bestPerItem, r.space.ItemOf(first.Head))
-
-	rest := make([]*rules.Rule, 0, len(bestPerItem))
-	//lint:allow detguard -- iteration order is discarded: rest is sorted by the total MPF order below
-	for _, rule := range bestPerItem {
-		rest = append(rest, rule)
+		if cur := sc.bestPerItem[item]; cur == nil {
+			sc.bestPerItem[item] = rule
+			sc.touched = append(sc.touched, item)
+		} else if rules.Outranks(rule, cur) {
+			sc.bestPerItem[item] = rule
+		}
 	}
-	rules.SortByRank(rest)
-	for _, rule := range rest {
-		out = append(out, r.toRecommendation(rule))
-		if len(out) == k {
+	sc.rest = sc.rest[:0]
+	for _, item := range sc.touched {
+		sc.rest = append(sc.rest, sc.bestPerItem[item])
+		sc.bestPerItem[item] = nil
+	}
+	rules.SortRanked(sc.rest)
+	for _, rule := range sc.rest {
+		dst = append(dst, r.toRecommendation(rule))
+		if len(dst) == k {
 			break
 		}
 	}
-	return out
+	r.putScratch(sc)
+	return dst
 }
 
 func (r *Recommender) toRecommendation(rule *rules.Rule) Recommendation {
@@ -301,22 +376,11 @@ func (r *Recommender) Space() *hierarchy.Space { return r.space }
 func (r *Recommender) Tree() *Node { return r.tree }
 
 // Explain renders the recommendation's rationale: the fired rule and its
-// covering-tree lineage up to the default rule.
+// covering-tree lineage up to the default rule. The node is found by one
+// index lookup; rules outside the tree (per-item alternates from
+// RecommendTopK) explain without a lineage, exactly as before.
 func (r *Recommender) Explain(rec Recommendation) []string {
-	var node *Node
-	var find func(*Node) *Node
-	find = func(n *Node) *Node {
-		if n.Rule == rec.Rule {
-			return n
-		}
-		for _, c := range n.Children {
-			if f := find(c); f != nil {
-				return f
-			}
-		}
-		return nil
-	}
-	node = find(r.tree)
+	node := r.ruleNode[rec.Rule]
 
 	var out []string
 	out = append(out, fmt.Sprintf("recommend %s: fired %s",

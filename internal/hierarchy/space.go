@@ -1,6 +1,7 @@
 package hierarchy
 
 import (
+	"slices"
 	"sort"
 
 	"profitmining/internal/model"
@@ -150,32 +151,117 @@ func (s *Space) ExpandSale(sale model.Sale) []GenID {
 // ExpandBasket returns the sorted, deduplicated union of the expansions of
 // the given sales — the set of all generalized sales the basket supports.
 func (s *Space) ExpandBasket(sales []model.Sale) []GenID {
-	switch len(sales) {
-	case 0:
+	if len(sales) == 0 {
 		return nil
-	case 1:
-		out := make([]GenID, len(s.saleExpansion[sales[0].Promo]))
-		copy(out, s.saleExpansion[sales[0].Promo])
-		return out
 	}
 	var total int
 	for _, sl := range sales {
 		total += len(s.saleExpansion[sl.Promo])
 	}
-	out := make([]GenID, 0, total)
-	for _, sl := range sales {
-		out = append(out, s.saleExpansion[sl.Promo]...)
+	return s.ExpandBasketInto(make([]GenID, 0, total), sales)
+}
+
+// maxMergeWays is the widest basket the cursor-based k-way merge of
+// ExpandBasketInto handles with stack-resident cursors. Wider baskets
+// fall back to gather-sort-dedup, which stays allocation-free as long
+// as dst has capacity.
+const maxMergeWays = 16
+
+// ExpandBasketInto is ExpandBasket writing into dst's backing storage —
+// the serving hot path calls it once per request with a pooled buffer.
+// Each ⟨item, promo⟩ leaf has a fixed, sorted ancestor expansion
+// precomputed at space-compile time (saleExpansion), so expanding a
+// basket is a k-way merge of k precomputed sorted lists: no per-call
+// sort, no dedup pass, no allocation once dst has grown to a basket's
+// steady-state size. The result is byte-identical to ExpandBasket.
+//
+//hot:path
+func (s *Space) ExpandBasketInto(dst []GenID, sales []model.Sale) []GenID {
+	dst = dst[:0]
+	switch len(sales) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, s.saleExpansion[sales[0].Promo]...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	// Deduplicate in place.
+	if len(sales) <= maxMergeWays {
+		// k-way merge over the unconsumed suffixes of the k lists:
+		// repeatedly emit the smallest head and advance every list
+		// sitting on it (which also deduplicates — shared ancestors
+		// appear in several lists). Exhausted lists are swap-removed so
+		// k shrinks, and the final survivor is appended wholesale — the
+		// common case once the per-item tails diverge.
+		var lists [maxMergeWays][]GenID
+		k := 0
+		for i := range sales {
+			if e := s.saleExpansion[sales[i].Promo]; len(e) > 0 {
+				lists[k] = e
+				k++
+			}
+		}
+		for k > 1 {
+			if k == 2 {
+				return merge2(dst, lists[0], lists[1])
+			}
+			min := lists[0][0]
+			for i := 1; i < k; i++ {
+				if h := lists[i][0]; h < min {
+					min = h
+				}
+			}
+			dst = append(dst, min)
+			for i := 0; i < k; {
+				if lists[i][0] == min {
+					if lists[i] = lists[i][1:]; len(lists[i]) == 0 {
+						k--
+						lists[i] = lists[k]
+						continue
+					}
+				}
+				i++
+			}
+		}
+		if k == 1 {
+			dst = append(dst, lists[0]...)
+		}
+		return dst
+	}
+	// Gather, sort, dedup in place — still allocation-free given capacity.
+	for _, sl := range sales {
+		dst = append(dst, s.saleExpansion[sl.Promo]...)
+	}
+	slices.Sort(dst)
 	w := 0
-	for i, g := range out {
-		if i == 0 || g != out[w-1] {
-			out[w] = g
+	for i, g := range dst {
+		if i == 0 || g != dst[w-1] {
+			dst[w] = g
 			w++
 		}
 	}
-	return out[:w]
+	return dst[:w]
+}
+
+// merge2 appends the sorted-set union of two sorted lists to dst.
+//
+//hot:path
+func merge2(dst []GenID, a, b []GenID) []GenID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
 }
 
 // HeadsOf returns every recommendation head ⟨I,P⟩ that generalizes the

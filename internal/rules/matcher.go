@@ -20,9 +20,19 @@ import (
 //
 // Matchers are built incrementally with Insert; several rules may share a
 // body.
+//
+// A matcher built in one shot by NewMatcher over a non-empty rule list is
+// sealed: the pointer trie is flattened into contiguous arrays (one child
+// block per node, children adjacent in memory) and queries walk the flat
+// form, which is measurably faster on the serving hot path because a
+// subset walk touches sibling runs sequentially instead of chasing one
+// heap pointer per node. Insert after sealing falls back to the pointer
+// trie transparently. Sealed or not, a Matcher is safe for concurrent
+// reads once construction is done.
 type Matcher struct {
 	root     matchNode
 	defaults []*Rule // empty-body rules match everything
+	flat     *flatTrie
 }
 
 type matchNode struct {
@@ -31,17 +41,35 @@ type matchNode struct {
 	rules    []*Rule
 }
 
-// NewMatcher builds a matcher over the given rules.
+// flatTrie is the sealed, cache-friendly form of the trie: node i's
+// children occupy nodes [childLo[i], childHi[i]) and its rules occupy
+// rules[ruleLo[i]:ruleHi[i]]. The root's children are [0, rootHi).
+// Sibling blocks are contiguous and sorted by item, so the two-pointer
+// subset walk streams through memory.
+type flatTrie struct {
+	item    []hierarchy.GenID
+	childLo []int32
+	childHi []int32
+	ruleLo  []int32
+	ruleHi  []int32
+	rules   []*Rule
+	rootHi  int32
+}
+
+// NewMatcher builds a matcher over the given rules and seals it.
 func NewMatcher(rs []*Rule) *Matcher {
 	m := &Matcher{}
 	for _, r := range rs {
 		m.Insert(r)
 	}
+	m.seal()
 	return m
 }
 
-// Insert adds a rule to the matcher.
+// Insert adds a rule to the matcher. Inserting into a sealed matcher
+// unseals it: subsequent queries walk the pointer trie.
 func (m *Matcher) Insert(r *Rule) {
+	m.flat = nil
 	if len(r.Body) == 0 {
 		m.defaults = append(m.defaults, r)
 		return
@@ -51,6 +79,26 @@ func (m *Matcher) Insert(r *Rule) {
 		node = node.child(g)
 	}
 	node.rules = append(node.rules, r)
+}
+
+// seal flattens the pointer trie into the contiguous-array form. Nodes
+// are laid out in BFS order, which places every sibling block — the unit
+// the subset walk scans — in one contiguous run.
+func (m *Matcher) seal() {
+	f := &flatTrie{}
+	nodes := append([]*matchNode(nil), m.root.children...)
+	f.rootHi = int32(len(nodes))
+	for i := 0; i < len(nodes); i++ {
+		n := nodes[i]
+		f.item = append(f.item, n.item)
+		f.ruleLo = append(f.ruleLo, int32(len(f.rules)))
+		f.rules = append(f.rules, n.rules...)
+		f.ruleHi = append(f.ruleHi, int32(len(f.rules)))
+		f.childLo = append(f.childLo, int32(len(nodes)))
+		nodes = append(nodes, n.children...)
+		f.childHi = append(f.childHi, int32(len(nodes)))
+	}
+	m.flat = f
 }
 
 // child returns the child for item g, creating it in sorted position.
@@ -71,6 +119,10 @@ func (n *matchNode) child(g hierarchy.GenID) *matchNode {
 func (m *Matcher) MatchAll(xs []hierarchy.GenID, fn func(*Rule)) {
 	for _, r := range m.defaults {
 		fn(r)
+	}
+	if f := m.flat; f != nil {
+		f.matchWalk(0, f.rootHi, xs, fn)
+		return
 	}
 	matchWalk(m.root.children, xs, fn)
 }
@@ -97,15 +149,148 @@ func matchWalk(nodes []*matchNode, xs []hierarchy.GenID, fn func(*Rule)) {
 	}
 }
 
+func (f *flatTrie) matchWalk(lo, hi int32, xs []hierarchy.GenID, fn func(*Rule)) {
+	ni, xi := lo, 0
+	for ni < hi && xi < len(xs) {
+		switch {
+		case f.item[ni] < xs[xi]:
+			ni++
+		case f.item[ni] > xs[xi]:
+			xi++
+		default:
+			for ri := f.ruleLo[ni]; ri < f.ruleHi[ni]; ri++ {
+				fn(f.rules[ri])
+			}
+			if f.childLo[ni] < f.childHi[ni] {
+				f.matchWalk(f.childLo[ni], f.childHi[ni], xs[xi+1:], fn)
+			}
+			ni++
+			xi++
+		}
+	}
+}
+
+// AppendMatches appends every rule whose body is a subset of xs
+// (including default rules) to dst and returns it. It is MatchAll
+// without the callback: the serving hot path collects matches into a
+// pooled buffer, and a closure-free walk keeps the per-request
+// allocation count at zero.
+//
+//hot:path
+func (m *Matcher) AppendMatches(dst []*Rule, xs []hierarchy.GenID) []*Rule {
+	dst = append(dst, m.defaults...)
+	if f := m.flat; f != nil {
+		return f.appendWalk(0, f.rootHi, xs, dst)
+	}
+	return appendWalk(m.root.children, xs, dst)
+}
+
+func appendWalk(nodes []*matchNode, xs []hierarchy.GenID, dst []*Rule) []*Rule {
+	ni, xi := 0, 0
+	for ni < len(nodes) && xi < len(xs) {
+		switch {
+		case nodes[ni].item < xs[xi]:
+			ni++
+		case nodes[ni].item > xs[xi]:
+			xi++
+		default:
+			node := nodes[ni]
+			dst = append(dst, node.rules...)
+			if len(node.children) > 0 {
+				dst = appendWalk(node.children, xs[xi+1:], dst)
+			}
+			ni++
+			xi++
+		}
+	}
+	return dst
+}
+
+func (f *flatTrie) appendWalk(lo, hi int32, xs []hierarchy.GenID, dst []*Rule) []*Rule {
+	ni, xi := lo, 0
+	for ni < hi && xi < len(xs) {
+		switch {
+		case f.item[ni] < xs[xi]:
+			ni++
+		case f.item[ni] > xs[xi]:
+			xi++
+		default:
+			dst = append(dst, f.rules[f.ruleLo[ni]:f.ruleHi[ni]]...)
+			if f.childLo[ni] < f.childHi[ni] {
+				dst = f.appendWalk(f.childLo[ni], f.childHi[ni], xs[xi+1:], dst)
+			}
+			ni++
+			xi++
+		}
+	}
+	return dst
+}
+
 // Best returns the highest-ranked rule whose body is a subset of xs, or
-// nil if none matches.
+// nil if none matches. The walk is closure-free: Best is the per-request
+// inner loop of Recommend, and a captured best-so-far variable would
+// escape to the heap on every call.
+//
+//hot:path
 func (m *Matcher) Best(xs []hierarchy.GenID) *Rule {
 	var best *Rule
-	m.MatchAll(xs, func(r *Rule) {
+	for _, r := range m.defaults {
 		if best == nil || Outranks(r, best) {
 			best = r
 		}
-	})
+	}
+	if f := m.flat; f != nil {
+		return f.bestWalk(0, f.rootHi, xs, best)
+	}
+	return bestWalk(m.root.children, xs, best)
+}
+
+func bestWalk(nodes []*matchNode, xs []hierarchy.GenID, best *Rule) *Rule {
+	ni, xi := 0, 0
+	for ni < len(nodes) && xi < len(xs) {
+		switch {
+		case nodes[ni].item < xs[xi]:
+			ni++
+		case nodes[ni].item > xs[xi]:
+			xi++
+		default:
+			node := nodes[ni]
+			for _, r := range node.rules {
+				if best == nil || Outranks(r, best) {
+					best = r
+				}
+			}
+			if len(node.children) > 0 {
+				best = bestWalk(node.children, xs[xi+1:], best)
+			}
+			ni++
+			xi++
+		}
+	}
+	return best
+}
+
+func (f *flatTrie) bestWalk(lo, hi int32, xs []hierarchy.GenID, best *Rule) *Rule {
+	ni, xi := lo, 0
+	for ni < hi && xi < len(xs) {
+		switch {
+		case f.item[ni] < xs[xi]:
+			ni++
+		case f.item[ni] > xs[xi]:
+			xi++
+		default:
+			for ri := f.ruleLo[ni]; ri < f.ruleHi[ni]; ri++ {
+				if r := f.rules[ri]; best == nil || Outranks(r, best) {
+					best = r
+				}
+			}
+			if f.childLo[ni] < f.childHi[ni] {
+				best = f.bestWalk(f.childLo[ni], f.childHi[ni], xs[xi+1:], best)
+			}
+			ni++
+			xi++
+		}
+	}
 	return best
 }
 
@@ -132,6 +317,9 @@ func (m *Matcher) Any(xs []hierarchy.GenID) bool {
 	if len(m.defaults) > 0 {
 		return true
 	}
+	if f := m.flat; f != nil {
+		return f.anyWalk(0, f.rootHi, xs)
+	}
 	return anyWalk(m.root.children, xs)
 }
 
@@ -149,6 +337,28 @@ func anyWalk(nodes []*matchNode, xs []hierarchy.GenID) bool {
 				return true
 			}
 			if len(node.children) > 0 && anyWalk(node.children, xs[xi+1:]) {
+				return true
+			}
+			ni++
+			xi++
+		}
+	}
+	return false
+}
+
+func (f *flatTrie) anyWalk(lo, hi int32, xs []hierarchy.GenID) bool {
+	ni, xi := lo, 0
+	for ni < hi && xi < len(xs) {
+		switch {
+		case f.item[ni] < xs[xi]:
+			ni++
+		case f.item[ni] > xs[xi]:
+			xi++
+		default:
+			if f.ruleLo[ni] < f.ruleHi[ni] {
+				return true
+			}
+			if f.childLo[ni] < f.childHi[ni] && f.anyWalk(f.childLo[ni], f.childHi[ni], xs[xi+1:]) {
 				return true
 			}
 			ni++

@@ -1,0 +1,21 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminHandler returns the opt-in admin mux: the net/http/pprof
+// profiling endpoints under /debug/pprof/. It is deliberately not part
+// of Handler — profiling exposes heap contents and must only listen on
+// an operator-controlled address (profitserve's -pprof flag), never on
+// the public serving port.
+func AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRecommendBatch(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"baskets":[
+		{"basket":[{"item":"Perfume","promoIx":0}],"k":2},
+		{"basket":[{"item":"NoSuchItem","promoIx":0}]},
+		{"basket":[{"item":"Beer","promoIx":0},{"item":"FlakedChicken","promoIx":1}]}
+	]}`
+	resp, out := postJSON(t, ts.URL+"/recommend/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if resp.Header.Get("X-Model-Version") == "" {
+		t.Error("missing X-Model-Version header")
+	}
+	results, ok := out["results"].([]any)
+	if !ok || len(results) != 3 {
+		t.Fatalf("want 3 results, got %v", out["results"])
+	}
+	first := results[0].(map[string]any)
+	if _, ok := first["recommendations"]; !ok {
+		t.Fatalf("result 0 has no recommendations: %v", first)
+	}
+	second := results[1].(map[string]any)
+	if msg, _ := second["error"].(string); !strings.Contains(msg, "NoSuchItem") {
+		t.Fatalf("result 1 should fail alone with the unknown item, got %v", second)
+	}
+	if _, ok := second["recommendations"]; ok {
+		t.Fatalf("failed basket must not carry recommendations: %v", second)
+	}
+	third := results[2].(map[string]any)
+	if _, ok := third["recommendations"]; !ok {
+		t.Fatalf("result 2 has no recommendations: %v", third)
+	}
+	if _, ok := out["modelVersion"].(float64); !ok {
+		t.Fatalf("missing modelVersion: %v", out)
+	}
+}
+
+// TestRecommendBatchMatchesSingle pins the batch path to the single
+// path: the same basket scored through /recommend and /recommend/batch
+// must produce identical recommendation objects.
+func TestRecommendBatchMatchesSingle(t *testing.T) {
+	_, ts := newTestServer(t)
+	basket := `{"basket":[{"item":"Perfume","promoIx":0},{"item":"Bread","promoIx":0}],"k":3}`
+	_, single := postJSON(t, ts.URL+"/recommend", basket)
+	_, batch := postJSON(t, ts.URL+"/recommend/batch", `{"baskets":[`+basket+`]}`)
+	results := batch["results"].([]any)
+	got := results[0].(map[string]any)["recommendations"]
+	want := single["recommendations"]
+	gj := mustMarshal(t, got)
+	wj := mustMarshal(t, want)
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("batch disagrees with single:\n got %s\nwant %s", gj, wj)
+	}
+}
+
+func TestRecommendBatchOrderIsStable(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Distinct baskets across the batch; the fan-out must write results
+	// in request order whatever the scheduling.
+	items := []string{"Perfume", "Shampoo", "Beer", "FlakedChicken", "Bread"}
+	var sb strings.Builder
+	sb.WriteString(`{"baskets":[`)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"basket":[{"item":%q,"promoIx":0}]}`, items[i%len(items)])
+	}
+	sb.WriteString("]}")
+	_, first := postJSON(t, ts.URL+"/recommend/batch", sb.String())
+	_, second := postJSON(t, ts.URL+"/recommend/batch", sb.String())
+	fj := mustMarshal(t, first["results"])
+	sj := mustMarshal(t, second["results"])
+	if !bytes.Equal(fj, sj) {
+		t.Fatal("two identical batch requests produced different result sequences")
+	}
+	if len(first["results"].([]any)) != n {
+		t.Fatalf("want %d results, got %d", n, len(first["results"].([]any)))
+	}
+}
+
+func TestRecommendBatchRejects(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/recommend/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", resp.StatusCode)
+	}
+
+	// Wrong content type.
+	resp, err = http.Post(ts.URL+"/recommend/batch", "text/plain", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("text/plain: status %d, want 415", resp.StatusCode)
+	}
+
+	// Oversized basket count.
+	var sb strings.Builder
+	sb.WriteString(`{"baskets":[`)
+	for i := 0; i <= maxBatchBaskets; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"basket":[{"item":"Bread","promoIx":0}]}`)
+	}
+	sb.WriteString("]}")
+	resp, body := postJSON(t, ts.URL+"/recommend/batch", sb.String())
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400 (%v)", resp.StatusCode, body)
+	}
+}
+
+// TestStreamedEnvelopesMatchEncoder pins the hand-written envelope
+// writers (writeRecommendResponse, writeBatchResponse) byte-for-byte to
+// the json.Encoder output of the wire structs they shortcut. If a field
+// is added to recommendResponse/batchResponse without updating the
+// writers, this fails.
+func TestStreamedEnvelopesMatchEncoder(t *testing.T) {
+	blob := func(s string) json.RawMessage { return json.RawMessage(s) }
+	recCases := [][]json.RawMessage{
+		nil,
+		{blob(`{"item":"Egg","profRe":1.25}`)},
+		{blob(`{"item":"Egg"}`), blob(`{"item":"Milk"}`)},
+	}
+	for i, recs := range recCases {
+		w := httptest.NewRecorder()
+		writeRecommendResponse(w, recs, 7)
+		want := mustEncode(t, recommendResponse{Recommendations: recs, ModelVersion: 7})
+		if got := w.Body.String(); got != want {
+			t.Errorf("recommend case %d:\n got %q\nwant %q", i, got, want)
+		}
+	}
+
+	batch := []batchResult{
+		{Recommendations: []json.RawMessage{blob(`{"item":"Egg"}`)}},
+		{Error: `unknown item "X" — quotes \ and unicode é survive`},
+		{Recommendations: []json.RawMessage{}},
+		{},
+	}
+	w := httptest.NewRecorder()
+	writeBatchResponse(w, batch, 3)
+	want := mustEncode(t, batchResponse{Results: batch, ModelVersion: 3})
+	if got := w.Body.String(); got != want {
+		t.Errorf("batch envelope:\n got %q\nwant %q", got, want)
+	}
+}
+
+// mustEncode matches writeJSON's framing: json.Encoder output with the
+// trailing newline.
+func mustEncode(t *testing.T, v any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestAdminHandlerServesPprof(t *testing.T) {
+	ts := httptest.NewServer(AdminHandler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+	// The serving mux must NOT expose profiling.
+	_, app := newTestServer(t)
+	resp2, err := http.Get(app.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("public handler exposes /debug/pprof/")
+	}
+}
+
+// newBenchHandler builds the handler once for the serving benchmarks.
+func newBenchHandler(b *testing.B) http.Handler {
+	b.Helper()
+	_, ts := newTestServer(b)
+	return ts.Config.Handler
+}
+
+// BenchmarkServeRecommend measures POST /recommend end to end through
+// the handler (decode, snapshot, score, explain, encode) without network
+// or client overhead.
+func BenchmarkServeRecommend(b *testing.B) {
+	h := newBenchHandler(b)
+	payload := []byte(`{"basket":[{"item":"Perfume","promoIx":0},{"item":"Bread","promoIx":0}],"k":2}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/recommend", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.Bytes())
+		}
+	}
+}
+
+// BenchmarkServeRecommendBatch measures /recommend/batch at 64 baskets
+// per request; per-basket cost is ns/op divided by 64.
+func BenchmarkServeRecommendBatch(b *testing.B) {
+	h := newBenchHandler(b)
+	items := []string{"Perfume", "Shampoo", "Beer", "FlakedChicken", "Bread"}
+	var sb strings.Builder
+	sb.WriteString(`{"baskets":[`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"basket":[{"item":%q,"promoIx":0},{"item":"Bread","promoIx":0}],"k":2}`, items[i%len(items)])
+	}
+	sb.WriteString("]}")
+	payload := []byte(sb.String())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/recommend/batch", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.Bytes())
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,7 +26,9 @@ import (
 
 	"profitmining/internal/core"
 	"profitmining/internal/model"
+	"profitmining/internal/par"
 	"profitmining/internal/registry"
+	"profitmining/internal/rules"
 	"profitmining/internal/stats"
 )
 
@@ -35,13 +38,21 @@ import (
 // an unbounded body into the decoder.
 const maxRecommendBody = 1 << 20
 
+// maxBatchBody caps the size of a POST /recommend/batch request: room
+// for maxBatchBaskets worth of generously sized baskets.
+const maxBatchBody = 8 << 20
+
+// maxBatchBaskets caps the number of baskets a single batch request may
+// carry — the unit of fan-out, and therefore of per-request memory.
+const maxBatchBaskets = 1024
+
 // versionHeader names the response header carrying the model version
 // that served the request.
 const versionHeader = "X-Model-Version"
 
 // endpoints is the fixed route set, used to key the per-endpoint
 // request counters.
-var endpoints = []string{"/healthz", "/catalog", "/rules", "/recommend", "/metrics", "/version", "/admin/reload"}
+var endpoints = []string{"/healthz", "/catalog", "/rules", "/recommend", "/recommend/batch", "/metrics", "/version", "/admin/reload"}
 
 // Reloader triggers one registry poll outside the watch loop — the
 // POST /admin/reload hook. A nil snapshot with Unchanged means the
@@ -59,6 +70,10 @@ type Server struct {
 	recommendations atomic.Int64
 	badRequests     atomic.Int64
 	requests        map[string]*atomic.Int64 // per-endpoint hit counters, fixed key set
+
+	// enc caches the active snapshot's pre-marshaled recommendation
+	// objects (see encCache). Rebuilt lazily after a hot swap.
+	enc atomic.Pointer[encCache]
 
 	latencyMu sync.Mutex
 	latency   *stats.Histogram // request latency, milliseconds
@@ -103,6 +118,7 @@ func NewRegistry(reg *registry.Registry, reload Reloader) *Server {
 //	GET  /catalog      — items and promotion codes
 //	GET  /rules?limit  — final rules in MPF rank order
 //	POST /recommend    — score a basket (optionally top-K)
+//	POST /recommend/batch — score many baskets in one request
 //	GET  /metrics      — counters and request-latency histogram
 //	GET  /version      — active model version, hash, staged candidate, shadow stats
 //	POST /admin/reload — poll the model file now (501 without a reloader)
@@ -112,6 +128,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/catalog", s.instrument("/catalog", s.catalog))
 	mux.HandleFunc("/rules", s.instrument("/rules", s.rules))
 	mux.HandleFunc("/recommend", s.instrument("/recommend", s.recommend))
+	mux.HandleFunc("/recommend/batch", s.instrument("/recommend/batch", s.recommendBatch))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.metrics))
 	mux.HandleFunc("/version", s.instrument("/version", s.version))
 	mux.HandleFunc("/admin/reload", s.instrument("/admin/reload", s.adminReload))
@@ -270,9 +287,12 @@ type recommendationJSON struct {
 	Explain []string `json:"explain,omitempty"`
 }
 
+// recommendResponse documents the POST /recommend wire shape. The hot
+// path does not encode this struct: writeRecommendResponse streams the
+// identical bytes (pinned by TestStreamedEnvelopesMatchEncoder).
 type recommendResponse struct {
-	Recommendations []recommendationJSON `json:"recommendations"`
-	ModelVersion    int                  `json:"modelVersion"`
+	Recommendations []json.RawMessage `json:"recommendations"`
+	ModelVersion    int               `json:"modelVersion"`
 }
 
 type errorResponse struct {
@@ -398,12 +418,103 @@ func (s *Server) recommend(w http.ResponseWriter, r *http.Request) {
 		k = 1
 	}
 	recs := snap.Rec.RecommendTopK(basket, k)
-	resp := recommendResponse{ModelVersion: snap.Version}
+	enc := s.encoded(snap)
+	var out []json.RawMessage
 	for _, rec := range recs {
-		resp.Recommendations = append(resp.Recommendations, encodeRecommendation(snap, rec))
+		out = append(out, enc.blob(snap, rec))
 	}
 	s.shadowScore(snap, req.Basket, recs)
-	writeJSON(w, http.StatusOK, resp)
+	writeRecommendResponse(w, out, snap.Version)
+}
+
+// batchRequest is the POST /recommend/batch payload: independent
+// scoring requests answered against one model snapshot.
+type batchRequest struct {
+	Baskets []recommendRequest `json:"baskets"`
+}
+
+// batchResult is one basket's outcome. Exactly one of Recommendations
+// and Error is set: a malformed basket fails alone, not the batch.
+type batchResult struct {
+	Recommendations []json.RawMessage `json:"recommendations,omitempty"`
+	Error           string            `json:"error,omitempty"`
+}
+
+// batchResponse documents the POST /recommend/batch wire shape;
+// writeBatchResponse streams the identical bytes.
+type batchResponse struct {
+	Results      []batchResult `json:"results"`
+	ModelVersion int           `json:"modelVersion"`
+}
+
+// recommendBatch scores every basket of the request against a single
+// snapshot — one atomic load for the whole batch, so a hot swap midway
+// cannot mix model versions within a response. Baskets fan out over a
+// bounded worker pool (internal/par); results keep request order
+// because each worker writes only its own index. Batch requests do not
+// feed shadow scoring: the sampler's stride is calibrated for
+// request-sized units.
+func (s *Server) recommendBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || ct != "application/json" {
+		s.badRequests.Add(1)
+		s.fail(w, http.StatusUnsupportedMediaType, "Content-Type must be application/json")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badRequests.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Baskets) > maxBatchBaskets {
+		s.badRequests.Add(1)
+		s.fail(w, http.StatusBadRequest,
+			fmt.Sprintf("batch holds %d baskets; the limit is %d", len(req.Baskets), maxBatchBaskets))
+		return
+	}
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	resp := batchResponse{
+		Results:      make([]batchResult, len(req.Baskets)),
+		ModelVersion: snap.Version,
+	}
+	enc := s.encoded(snap)
+	var scored atomic.Int64
+	par.For(par.Workers(0), len(req.Baskets), func(i int) {
+		one := &req.Baskets[i]
+		basket, err := decodeBasket(snap.Cat, one.Basket)
+		if err != nil {
+			resp.Results[i].Error = err.Error()
+			return
+		}
+		k := one.K
+		if k <= 0 {
+			k = 1
+		}
+		recs := snap.Rec.RecommendTopK(basket, k)
+		out := make([]json.RawMessage, 0, len(recs))
+		for _, rec := range recs {
+			out = append(out, enc.blob(snap, rec))
+		}
+		resp.Results[i].Recommendations = out
+		scored.Add(1)
+	})
+	s.recommendations.Add(scored.Load())
+	writeBatchResponse(w, resp.Results, resp.ModelVersion)
 }
 
 // shadowScore replays the request against a staged candidate when the
@@ -449,6 +560,61 @@ func promoIndex(cat *model.Catalog, item model.ItemID, promo model.PromoID) int 
 
 // encodeRecommendation renders one recommendation against the snapshot
 // that produced it.
+// encCache maps every rule of one snapshot to its fully marshaled
+// recommendationJSON. All fields of that object — item, promo economics,
+// measures, the rendered rule and its covering-tree explanation — are
+// functions of the fired rule alone, so the per-request response encode
+// reduces to splicing cached json.RawMessage blobs into the envelope.
+// On the profiled /recommend path this removes the fmt rendering and
+// float formatting that dominated request time.
+type encCache struct {
+	snap  *registry.Snapshot
+	blobs map[*rules.Rule]json.RawMessage
+}
+
+// encoded returns the snapshot's blob cache, building it on first use
+// after a promotion (one O(rules) marshal pass; concurrent rebuilds are
+// idempotent and the maps are immutable once published).
+func (s *Server) encoded(snap *registry.Snapshot) *encCache {
+	if c := s.enc.Load(); c != nil && c.snap == snap {
+		return c
+	}
+	space := snap.Rec.Space()
+	final, alt := snap.Rec.Rules(), snap.Rec.Alternates()
+	c := &encCache{snap: snap, blobs: make(map[*rules.Rule]json.RawMessage, len(final)+len(alt))}
+	for _, rs := range [][]*rules.Rule{final, alt} {
+		for _, rule := range rs {
+			if _, ok := c.blobs[rule]; ok {
+				continue
+			}
+			rec := core.Recommendation{Item: space.ItemOf(rule.Head), Promo: space.PromoOf(rule.Head), Rule: rule}
+			c.blobs[rule] = marshalRecommendation(snap, rec)
+		}
+	}
+	s.enc.Store(c)
+	return c
+}
+
+// blob returns the marshaled recommendation, marshaling on the fly for
+// rules outside the cached sets (the tree's default rules).
+func (c *encCache) blob(snap *registry.Snapshot, rec core.Recommendation) json.RawMessage {
+	if b, ok := c.blobs[rec.Rule]; ok {
+		return b
+	}
+	return marshalRecommendation(snap, rec)
+}
+
+func marshalRecommendation(snap *registry.Snapshot, rec core.Recommendation) json.RawMessage {
+	data, err := json.Marshal(encodeRecommendation(snap, rec))
+	if err != nil {
+		// Unreachable for validated models (plain strings and finite
+		// floats); kept so a pathological value degrades one slot, not
+		// the whole response.
+		return json.RawMessage(`{"error":"unencodable recommendation"}`)
+	}
+	return data
+}
+
 func encodeRecommendation(snap *registry.Snapshot, rec core.Recommendation) recommendationJSON {
 	promo := snap.Cat.Promo(rec.Promo)
 	return recommendationJSON{
@@ -495,21 +661,111 @@ func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorResponse{Error: msg})
 }
 
+// bufPool recycles response encode buffers. A batch response can run to
+// megabytes; streaming the encode into a pooled buffer keeps the
+// per-request garbage at the JSON encoder's own internals instead of a
+// fresh full-response byte slice per call.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf is the largest encode buffer returned to the pool.
+// Occasional giant batch responses should not pin their high-water-mark
+// buffers forever.
+const maxPooledBuf = 1 << 20
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	// Marshal before touching the ResponseWriter so an encoding failure
-	// can still become a 500: once WriteHeader runs, the status is gone.
-	body, err := json.Marshal(v)
-	if err != nil {
+	// Encode into a pooled buffer before touching the ResponseWriter so
+	// an encoding failure can still become a 500: once WriteHeader runs,
+	// the status is gone.
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		log.Printf("serve: encoding %T response: %v", v, err)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusInternalServerError)
-		body = []byte(`{"error":"internal encoding error"}`)
-	} else {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(code)
+		code = http.StatusInternalServerError
+		buf.Reset()
+		buf.WriteString(`{"error":"internal encoding error"}`)
 	}
-	if _, err := w.Write(body); err != nil {
+	writeBuf(w, code, buf)
+}
+
+// writeBuf flushes a pooled buffer to the wire and recycles it.
+func writeBuf(w http.ResponseWriter, code int, buf *bytes.Buffer) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if _, err := w.Write(buf.Bytes()); err != nil {
 		// Headers are already on the wire; all that is left is to log.
 		log.Printf("serve: writing response: %v", err)
 	}
+	if buf.Cap() <= maxPooledBuf {
+		bufPool.Put(buf)
+	}
+}
+
+// appendRecList writes a recommendation list by splicing the cached
+// blobs verbatim. Pushing json.RawMessage through json.Encoder instead
+// would re-compact (re-scan) every blob per request — on the profiled
+// hot path that re-validation was the single largest cost after the
+// rendering it replaced. A nil list encodes as null, matching the
+// encoding of the nil slice in the response struct.
+func appendRecList(buf *bytes.Buffer, recs []json.RawMessage) {
+	if recs == nil {
+		buf.WriteString("null")
+		return
+	}
+	buf.WriteByte('[')
+	for i, b := range recs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(b)
+	}
+	buf.WriteByte(']')
+}
+
+// writeRecommendResponse streams the /recommend envelope into a pooled
+// buffer: cached blobs spliced verbatim, only the envelope written per
+// request. Byte-identical to encoding recommendResponse.
+func writeRecommendResponse(w http.ResponseWriter, recs []json.RawMessage, version int) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString(`{"recommendations":`)
+	appendRecList(buf, recs)
+	buf.WriteString(`,"modelVersion":`)
+	buf.WriteString(strconv.Itoa(version))
+	buf.WriteString("}\n")
+	writeBuf(w, http.StatusOK, buf)
+}
+
+// writeBatchResponse streams the /recommend/batch envelope the same
+// way. Byte-identical to encoding batchResponse (omitempty semantics:
+// a failed basket carries only its error, an empty list only braces).
+func writeBatchResponse(w http.ResponseWriter, results []batchResult, version int) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString(`{"results":[`)
+	for i := range results {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		res := &results[i]
+		switch {
+		case res.Error != "":
+			buf.WriteString(`{"error":`)
+			errJSON, err := json.Marshal(res.Error)
+			if err != nil {
+				errJSON = []byte(`"unencodable error"`)
+			}
+			buf.Write(errJSON)
+			buf.WriteString("}")
+		case len(res.Recommendations) == 0:
+			buf.WriteString("{}")
+		default:
+			buf.WriteString(`{"recommendations":`)
+			appendRecList(buf, res.Recommendations)
+			buf.WriteString("}")
+		}
+	}
+	buf.WriteString(`],"modelVersion":`)
+	buf.WriteString(strconv.Itoa(version))
+	buf.WriteString("}\n")
+	writeBuf(w, http.StatusOK, buf)
 }

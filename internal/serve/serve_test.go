@@ -14,7 +14,7 @@ import (
 	"profitmining/internal/mining"
 )
 
-func newTestServer(t *testing.T) (*datagen.Grocery, *httptest.Server) {
+func newTestServer(t testing.TB) (*datagen.Grocery, *httptest.Server) {
 	t.Helper()
 	g := datagen.NewGrocery(1000, 3)
 	space, err := g.Builder.Compile(hierarchy.Options{MOA: true})
