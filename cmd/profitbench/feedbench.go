@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"profitmining/internal/feedback"
+)
+
+// feedReport is the schema of the -feedbench JSON artifact
+// (BENCH_feedback.json) consumed by CI: outcome-log append and replay
+// throughput, the on-disk footprint, and whether a full replay
+// reproduced the in-memory statistics exactly.
+type feedReport struct {
+	Records      int   `json:"records"`
+	Rules        int   `json:"rules"`
+	SyncEvery    int   `json:"syncEvery"`
+	SegmentBytes int64 `json:"segmentBytes"`
+	GOMAXPROCS   int   `json:"gomaxprocs"`
+
+	AppendSeconds   float64 `json:"appendSeconds"`
+	AppendPerSec    float64 `json:"appendPerSec"`
+	ReplaySeconds   float64 `json:"replaySeconds"`
+	ReplayPerSec    float64 `json:"replayPerSec"`
+	WALBytes        int64   `json:"walBytes"`
+	WALSegments     int     `json:"walSegments"`
+	BytesPerRecord  float64 `json:"bytesPerRecord"`
+	ReplayedRecords int64   `json:"replayedRecords"`
+
+	StatsMatch bool `json:"statsMatch"`
+}
+
+// feedRules is how many synthetic rule projections the benchmark model
+// registers; outcomes spread across them.
+const feedRules = 64
+
+// runFeedBench measures the feedback subsystem end to end: append
+// `records` synthetic outcomes through the collector (WAL framing, CRC,
+// rotation, aggregation, drift detection all on), then close, reopen,
+// and replay the log. Replay must reproduce the exact pre-close
+// statistics — a mismatch is a hard failure (exit 1), since it would
+// mean a restart silently changes the accounting.
+func runFeedBench(records, syncEvery int, segBytes int64, seed int64, out string) {
+	dir, err := os.MkdirTemp("", "feedbench-*")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := feedback.Config{
+		Dir: dir,
+		WAL: feedback.WALOptions{SyncEvery: syncEvery, MaxSegmentBytes: segBytes},
+		// The synthetic stream is intentionally miscalibrated (most
+		// outcomes are misses), so park the threshold far away: this
+		// benchmark measures throughput, not detection.
+		Drift: feedback.DriftConfig{Lambda: 1e18},
+	}
+	c, _, err := feedback.Open(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	projs := make([]feedback.RuleProjection, feedRules)
+	for i := range projs {
+		projs[i] = feedback.RuleProjection{
+			ID:     fmt.Sprintf("rbench%010x", i),
+			ProfRe: 0.5 + float64(i)*0.01,
+			Conf:   0.4,
+			Price:  5 + float64(i%7),
+			Cost:   3,
+		}
+	}
+	if err := c.RegisterModel(1, "feedbench", projs); err != nil {
+		fail(err)
+	}
+
+	// Deterministic outcome stream from a bare LCG — no math/rand, so
+	// the byte stream (and therefore the report) is stable per seed.
+	rng := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+
+	start := time.Now()
+	for i := 0; i < records; i++ {
+		p := projs[next(len(projs))]
+		o := feedback.Outcome{
+			RequestID:    fmt.Sprintf("req-%08d", i),
+			RuleID:       p.ID,
+			ModelVersion: 1,
+		}
+		if next(4) == 0 {
+			o.Bought = true
+			o.Qty = float64(1 + next(3))
+			o.PaidPrice = p.Price - float64(next(2))
+		}
+		if _, err := c.Record(o); err != nil {
+			fail(err)
+		}
+	}
+	appendSecs := time.Since(start).Seconds()
+
+	before := c.Stats(0)
+	bytes, segs, err := c.LogSize()
+	if err != nil {
+		fail(err)
+	}
+	if err := c.Close(); err != nil {
+		fail(err)
+	}
+
+	start = time.Now()
+	c2, replayed, err := feedback.Open(cfg)
+	if err != nil {
+		fail(err)
+	}
+	replaySecs := time.Since(start).Seconds()
+	after := c2.Stats(0)
+	if err := c2.Close(); err != nil {
+		fail(err)
+	}
+
+	rep := feedReport{
+		Records:         records,
+		Rules:           feedRules,
+		SyncEvery:       syncEvery,
+		SegmentBytes:    segBytes,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		AppendSeconds:   appendSecs,
+		AppendPerSec:    safeRatio(float64(records), appendSecs),
+		ReplaySeconds:   replaySecs,
+		ReplayPerSec:    safeRatio(float64(replayed.Records), replaySecs),
+		WALBytes:        bytes,
+		WALSegments:     segs,
+		BytesPerRecord:  safeRatio(float64(bytes), float64(records)),
+		ReplayedRecords: replayed.Records,
+		StatsMatch:      reflect.DeepEqual(before, after),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("feedbench: %d outcomes over %d rules, syncEvery %d, segments of %d bytes\n",
+		records, feedRules, syncEvery, segBytes)
+	fmt.Printf("feedbench: append %.0f records/s (%.2fs), replay %.0f records/s (%.2fs)\n",
+		rep.AppendPerSec, appendSecs, rep.ReplayPerSec, replaySecs)
+	fmt.Printf("feedbench: WAL %d bytes in %d segment(s), %.1f bytes/record; report: %s\n",
+		bytes, segs, rep.BytesPerRecord, out)
+	if !rep.StatsMatch {
+		fail(fmt.Errorf("feedbench: replayed statistics diverged from the live run"))
+	}
+	fmt.Println("feedbench: replay reproduced the live statistics exactly")
+}

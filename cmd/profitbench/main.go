@@ -49,6 +49,12 @@ func main() {
 		serveBench = flag.Bool("servebench", false, "instead of the figure sweep, benchmark the recommend hot path and serving endpoints, enforce the 0-alloc budget and write a JSON report")
 		serveReqs  = flag.Int("servereqs", 200, "batch requests timed for the -servebench latency percentiles")
 		serveOut   = flag.String("serveout", "BENCH_serve.json", "where -servebench writes its JSON report")
+
+		feedBench   = flag.Bool("feedbench", false, "instead of the figure sweep, benchmark the feedback outcome log (append + replay), verify replay reproduces the statistics and write a JSON report")
+		feedRecords = flag.Int("feedrecords", 50000, "outcomes appended by -feedbench")
+		feedSync    = flag.Int("feedsync", 0, "fsync policy for -feedbench (0 = OS-buffered, 1 = fsync per record)")
+		feedSeg     = flag.Int64("feedseg", 4<<20, "segment size in bytes for -feedbench (small enough to exercise rotation)")
+		feedOut     = flag.String("feedout", "BENCH_feedback.json", "where -feedbench writes its JSON report")
 	)
 	flag.Parse()
 
@@ -75,6 +81,10 @@ func main() {
 	}
 	if *serveBench {
 		runServeBench(names[0], *txns, *items, sups[0], *maxLen, *seed, *serveReqs, *serveOut)
+		return
+	}
+	if *feedBench {
+		runFeedBench(*feedRecords, *feedSync, *feedSeg, *seed, *feedOut)
 		return
 	}
 

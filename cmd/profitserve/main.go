@@ -17,10 +17,20 @@
 //
 //	profitserve -data grocery.pmjl -minsup 0.01 -addr :8080
 //
+// Close the loop with a durable outcome log and drift detection: report
+// what customers did with the recommendations, and run a command when
+// realized profit drifts away from the model's projections (typically a
+// retrain that -watch then hot-swaps in):
+//
+//	profitserve -model grocery.pmm -watch \
+//	    -feedback-dir /var/lib/profitserve/feedback \
+//	    -on-drift 'make retrain'
+//
 // Endpoints: GET /healthz, GET /catalog, GET /rules?limit=N,
-// GET /metrics, GET /version, POST /admin/reload,
+// GET /metrics, GET /version, GET /feedback/stats, POST /admin/reload,
 // POST /recommend {"basket":[{"item":"Beer","promoIx":0,"qty":1}],"k":2},
-// POST /recommend/batch {"baskets":[{"basket":[...],"k":2}, ...]}.
+// POST /recommend/batch {"baskets":[{"basket":[...],"k":2}, ...]},
+// POST /outcome {"requestID":"...","ruleID":"r0123...","modelVersion":1,"bought":true,"qty":2,"paidPrice":3.5}.
 //
 // -pprof localhost:6060 additionally serves the net/http/pprof profiling
 // endpoints on a separate, operator-only listener.
@@ -37,11 +47,13 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"profitmining"
+	"profitmining/internal/feedback"
 	"profitmining/internal/registry"
 	"profitmining/internal/serve"
 )
@@ -58,12 +70,49 @@ func main() {
 		samples   = flag.Int("shadow-samples", 32, "shadowed requests required before a staged candidate auto-promotes")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default")
+
+		fbDir       = flag.String("feedback-dir", "", "directory for the durable outcome log (empty = in-memory feedback, lost on restart)")
+		fbSync      = flag.Int("feedback-sync", 1, "fsync the outcome log every N appends (0 = leave durability to the OS)")
+		fbSeg       = flag.Int64("feedback-seg", 64<<20, "outcome-log segment size in bytes before rotation")
+		driftLambda = flag.Float64("drift-lambda", 25, "Page-Hinkley drift threshold λ, in profit units")
+		driftDelta  = flag.Float64("drift-delta", 0.005, "Page-Hinkley per-observation slack δ")
+		driftMin    = flag.Int64("drift-min", 30, "outcomes required since the last model change before drift can trigger")
+		onDrift     = flag.String("on-drift", "", "command run (via sh -c) when drift is detected, e.g. a retrain job")
 	)
 	flag.Parse()
+
+	fbCfg := feedback.Config{
+		Dir:   *fbDir,
+		WAL:   feedback.WALOptions{MaxSegmentBytes: *fbSeg, SyncEvery: *fbSync},
+		Drift: feedback.DriftConfig{Delta: *driftDelta, Lambda: *driftLambda, MinObservations: *driftMin},
+		Logf:  log.Printf,
+	}
+	if *onDrift != "" {
+		hook := *onDrift
+		fbCfg.OnDrift = func() {
+			log.Printf("drift detected; running: %s", hook)
+			out, err := exec.Command("sh", "-c", hook).CombinedOutput()
+			if err != nil {
+				log.Printf("on-drift command failed: %v\n%s", err, out)
+				return
+			}
+			log.Printf("on-drift command finished\n%s", out)
+		}
+	}
+	fb, replayed, err := feedback.Open(fbCfg)
+	if err != nil {
+		fail(err)
+	}
+	defer fb.Close()
+	if *fbDir != "" {
+		log.Printf("feedback log %s: replayed %d records (%d segments, %d bytes dropped)",
+			*fbDir, replayed.Records, replayed.Segments, replayed.DroppedBytes)
+	}
 
 	reg, err := registry.New(registry.Options{
 		ShadowFraction:   *shadow,
 		ShadowMinSamples: *samples,
+		OnPromote:        func(snap *registry.Snapshot) { serve.RegisterSnapshot(fb, snap) },
 	})
 	if err != nil {
 		fail(err)
@@ -136,7 +185,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewRegistry(reg, reload).Handler(),
+		Handler:           serve.NewRegistry(reg, reload, fb).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,

@@ -248,8 +248,8 @@ func TestExplainUsesIndex(t *testing.T) {
 	refExplain := func(rec Recommendation) []string {
 		node := refFind(w.rec.tree, rec.Rule)
 		var out []string
-		out = append(out, fmt.Sprintf("recommend %s: fired %s",
-			w.rec.space.Name(w.rec.space.PromoNode(rec.Promo)), rec.Rule.String(w.rec.space)))
+		out = append(out, fmt.Sprintf("recommend %s [rule %s]: fired %s",
+			w.rec.space.Name(w.rec.space.PromoNode(rec.Promo)), w.rec.RuleID(rec.Rule), rec.Rule.String(w.rec.space)))
 		for n := node; n != nil && n.Parent != nil; n = n.Parent {
 			out = append(out, fmt.Sprintf("  fallback: %s", n.Parent.Rule.String(w.rec.space)))
 		}

@@ -92,6 +92,11 @@ type Recommender struct {
 	// that were pruned from (or never entered) the tree are absent.
 	ruleNode map[*rules.Rule]*Node
 
+	// ids caches every servable rule's stable content-hash identity
+	// (rules.StableID), precomputed at assemble so the recommend hot path
+	// attaches identity with one map lookup and zero hashing.
+	ids map[*rules.Rule]string
+
 	// scratch pools the per-call working state of Recommend and
 	// RecommendTopK, keyed per recommender because the dense
 	// best-per-item table is sized to this model's catalog.
@@ -121,11 +126,15 @@ func (r *Recommender) putScratch(sc *scratch) {
 
 // Recommendation is one recommended (target item, promotion code) pair
 // together with the rule that produced it, for explanation (Requirement 5
-// of Section 1.2).
+// of Section 1.2). ID is the fired rule's stable content-hash identity
+// (rules.StableID): the join key an outcome report uses to find its way
+// back to this exact rule, even after the serving model has been
+// hot-swapped.
 type Recommendation struct {
 	Item  model.ItemID
 	Promo model.PromoID
 	Rule  *rules.Rule
+	ID    string
 }
 
 // Build constructs the recommender from mined rules over the same space
@@ -225,6 +234,15 @@ func assemble(space *hierarchy.Space, root *Node, final, alt []*rules.Rule, gene
 		}
 	}
 	index(root)
+	r.ids = make(map[*rules.Rule]string, len(r.ruleNode)+len(alt))
+	for rule := range r.ruleNode {
+		r.ids[rule] = rules.StableID(space, rule)
+	}
+	for _, rule := range alt {
+		if _, ok := r.ids[rule]; !ok {
+			r.ids[rule] = rules.StableID(space, rule)
+		}
+	}
 	numItems := space.Catalog().NumItems()
 	r.scratch.New = func() any {
 		return &scratch{bestPerItem: make([]*rules.Rule, numItems+1)}
@@ -358,7 +376,18 @@ func (r *Recommender) toRecommendation(rule *rules.Rule) Recommendation {
 		Item:  r.space.ItemOf(rule.Head),
 		Promo: r.space.PromoOf(rule.Head),
 		Rule:  rule,
+		ID:    r.RuleID(rule),
 	}
+}
+
+// RuleID returns the rule's stable content-hash identity. Every rule a
+// built or restored recommender can serve (tree rules and per-item
+// alternates) is precomputed; anything else falls back to hashing.
+func (r *Recommender) RuleID(rule *rules.Rule) string {
+	if id, ok := r.ids[rule]; ok {
+		return id
+	}
+	return rules.StableID(r.space, rule)
 }
 
 // Rules returns the final rules in MPF rank order. The slice must not be
@@ -383,8 +412,8 @@ func (r *Recommender) Explain(rec Recommendation) []string {
 	node := r.ruleNode[rec.Rule]
 
 	var out []string
-	out = append(out, fmt.Sprintf("recommend %s: fired %s",
-		r.space.Name(r.space.PromoNode(rec.Promo)), rec.Rule.String(r.space)))
+	out = append(out, fmt.Sprintf("recommend %s [rule %s]: fired %s",
+		r.space.Name(r.space.PromoNode(rec.Promo)), r.RuleID(rec.Rule), rec.Rule.String(r.space)))
 	for n := node; n != nil && n.Parent != nil; n = n.Parent {
 		out = append(out, fmt.Sprintf("  fallback: %s", n.Parent.Rule.String(r.space)))
 	}

@@ -1,0 +1,122 @@
+package feedback
+
+// Page-Hinkley drift detection over per-outcome profit shortfalls.
+//
+// Every accepted outcome yields a shortfall s_t = projected − realized:
+// the rule's projected Prof_re (expected profit per firing, hit rate
+// already factored in) minus the profit the customer actually generated.
+// A calibrated model has E[s_t] ≈ 0 — most outcomes are non-purchases
+// (realized 0, s_t > 0) balanced by occasional purchases (realized ≫
+// projected, s_t < 0). When customer behavior drifts away from the
+// training data, the shortfall mean shifts positive, and the classic
+// Page-Hinkley statistic
+//
+//	m_t = Σ_{i≤t} (s_i − s̄_i − δ),   PH_t = m_t − min_{i≤t} m_i
+//
+// crosses the threshold λ. δ absorbs tolerated slack per observation; λ
+// trades detection delay against false alarms.
+//
+// The math is deliberately sequential and allocation-free: observations
+// arrive in WAL append order (the collector serializes them), the
+// running mean uses the standard incremental update, and no RNG or
+// wall-clock enters the statistic — so an identical outcome stream
+// trips the detector at the identical record index on every replay,
+// regardless of how many goroutines fed the serving layer.
+
+// DriftConfig tunes the Page-Hinkley detector.
+type DriftConfig struct {
+	// Delta is the per-observation slack δ (default 0.005): shortfall
+	// drift smaller than this per outcome is tolerated forever.
+	Delta float64
+
+	// Lambda is the detection threshold λ (default 25, in profit units).
+	// The cumulative excess shortfall must reach λ before the drifting
+	// flag flips.
+	Lambda float64
+
+	// MinObservations gates detection until this many outcomes have been
+	// observed since the last reset (default 30), so a handful of early
+	// misses cannot trip the alarm.
+	MinObservations int64
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Delta <= 0 {
+		c.Delta = 0.005
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 25
+	}
+	if c.MinObservations <= 0 {
+		c.MinObservations = 30
+	}
+	return c
+}
+
+// DriftState is the detector's externally visible state, rendered on
+// /feedback/stats and /metrics.
+type DriftState struct {
+	Drifting    bool    `json:"drifting"`
+	Observed    int64   `json:"observed"`    // outcomes since the last reset
+	Mean        float64 `json:"mean"`        // running mean shortfall
+	Stat        float64 `json:"stat"`        // current PH statistic m_t − min m
+	Lambda      float64 `json:"lambda"`      // threshold the statistic is racing
+	TriggeredAt int64   `json:"triggeredAt"` // observation index that tripped the flag (0 = not tripped)
+}
+
+// detector is the Page-Hinkley accumulator. Not safe for concurrent
+// use; the collector guards it with its own mutex.
+type detector struct {
+	cfg DriftConfig
+
+	n        int64
+	mean     float64
+	cum      float64 // m_t
+	min      float64 // min_{i≤t} m_i
+	drifting bool
+	trigger  int64
+}
+
+func newDetector(cfg DriftConfig) *detector {
+	return &detector{cfg: cfg.withDefaults()}
+}
+
+// observe folds one shortfall into the statistic and reports whether
+// this observation flipped the detector into the drifting state. Once
+// drifting, the flag holds (and observe keeps accumulating) until reset.
+func (d *detector) observe(shortfall float64) (tripped bool) {
+	d.n++
+	d.mean += (shortfall - d.mean) / float64(d.n)
+	d.cum += shortfall - d.mean - d.cfg.Delta
+	if d.cum < d.min {
+		d.min = d.cum
+	}
+	if d.drifting || d.n < d.cfg.MinObservations {
+		return false
+	}
+	if d.cum-d.min > d.cfg.Lambda {
+		d.drifting = true
+		d.trigger = d.n
+		return true
+	}
+	return false
+}
+
+// reset clears the statistic — the model just changed, so the history
+// the alarm accumulated describes a model that is no longer serving.
+func (d *detector) reset() {
+	d.n, d.mean, d.cum, d.min = 0, 0, 0, 0
+	d.drifting = false
+	d.trigger = 0
+}
+
+func (d *detector) state() DriftState {
+	return DriftState{
+		Drifting:    d.drifting,
+		Observed:    d.n,
+		Mean:        d.mean,
+		Stat:        d.cum - d.min,
+		Lambda:      d.cfg.Lambda,
+		TriggeredAt: d.trigger,
+	}
+}

@@ -1,0 +1,125 @@
+package feedback
+
+import "testing"
+
+// shortfallStream is a deterministic synthetic stream: calibrated noise
+// for the first `calm` observations, then a sustained positive shift —
+// the shape of a model whose projections stopped matching reality.
+func shortfallStream(n, calm int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		// Zero-mean alternation while calm; +0.6 shift afterwards.
+		s := 0.25
+		if i%2 == 1 {
+			s = -0.25
+		}
+		if i >= calm {
+			s += 0.6
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// runDetector feeds a stream and returns the index (1-based observation
+// count) at which the detector tripped, or 0.
+func runDetector(cfg DriftConfig, stream []float64) int64 {
+	d := newDetector(cfg)
+	for _, s := range stream {
+		if d.observe(s) {
+			return d.trigger
+		}
+	}
+	return 0
+}
+
+func TestDriftTriggersOnSustainedShift(t *testing.T) {
+	cfg := DriftConfig{Delta: 0.01, Lambda: 5, MinObservations: 30}
+	stream := shortfallStream(400, 100)
+	at := runDetector(cfg, stream)
+	if at == 0 {
+		t.Fatal("sustained shortfall shift never tripped the detector")
+	}
+	if at <= 100 {
+		t.Errorf("tripped at %d, before the shift at observation 101", at)
+	}
+}
+
+func TestDriftStaysQuietWhenCalibrated(t *testing.T) {
+	cfg := DriftConfig{Delta: 0.01, Lambda: 5, MinObservations: 30}
+	if at := runDetector(cfg, shortfallStream(400, 400)); at != 0 {
+		t.Errorf("calibrated stream tripped the detector at %d", at)
+	}
+}
+
+// TestDriftDeterministicTriggerIndex: the satellite invariant — an
+// identical stream trips the detector at the identical observation
+// index on every run.
+func TestDriftDeterministicTriggerIndex(t *testing.T) {
+	cfg := DriftConfig{Delta: 0.01, Lambda: 5, MinObservations: 30}
+	stream := shortfallStream(400, 100)
+	first := runDetector(cfg, stream)
+	for run := 0; run < 5; run++ {
+		if at := runDetector(cfg, stream); at != first {
+			t.Fatalf("run %d tripped at %d, first run at %d", run, at, first)
+		}
+	}
+}
+
+func TestDriftMinObservationsFloor(t *testing.T) {
+	cfg := DriftConfig{Delta: 0.001, Lambda: 0.5, MinObservations: 50}
+	d := newDetector(cfg)
+	// Calm for 20 observations, then an absurd sustained shift: the
+	// statistic blows past λ long before the floor, but detection must
+	// wait for observation 50.
+	for i := 0; i < 20; i++ {
+		if d.observe(0) {
+			t.Fatalf("calm observation %d tripped", i+1)
+		}
+	}
+	for i := 20; i < 49; i++ {
+		if d.observe(100) {
+			t.Fatalf("tripped at observation %d, below the %d floor", i+1, cfg.MinObservations)
+		}
+	}
+	if !d.observe(100) {
+		t.Error("observation 50 should trip once the floor is met")
+	}
+}
+
+func TestDriftResetClearsEpisode(t *testing.T) {
+	cfg := DriftConfig{Delta: 0.01, Lambda: 5, MinObservations: 30}
+	d := newDetector(cfg)
+	for _, s := range shortfallStream(400, 100) {
+		d.observe(s)
+	}
+	if !d.drifting {
+		t.Fatal("expected a drifting detector")
+	}
+	d.reset()
+	st := d.state()
+	if st.Drifting || st.Observed != 0 || st.TriggeredAt != 0 || st.Stat != 0 { //lint:allow floatcmp -- reset assigns exact zeros
+		t.Errorf("reset left state %+v", st)
+	}
+	// And the flag can re-arm after the reset.
+	for _, s := range shortfallStream(400, 100) {
+		d.observe(s)
+	}
+	if !d.drifting {
+		t.Error("detector should re-trigger on a fresh episode")
+	}
+}
+
+func TestDriftObserveReportsOnlyTransition(t *testing.T) {
+	cfg := DriftConfig{Delta: 0.01, Lambda: 5, MinObservations: 30}
+	d := newDetector(cfg)
+	trips := 0
+	for _, s := range shortfallStream(400, 100) {
+		if d.observe(s) {
+			trips++
+		}
+	}
+	if trips != 1 {
+		t.Errorf("observe reported %d transitions, want exactly 1", trips)
+	}
+}

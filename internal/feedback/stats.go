@@ -1,0 +1,174 @@
+package feedback
+
+import "sort"
+
+// RuleStats aggregates realized outcomes for one rule (identified by its
+// content-hash StableID, so the aggregate survives model renumbering and
+// rebuilds that leave the rule's content unchanged).
+type RuleStats struct {
+	RuleID string `json:"ruleID"`
+
+	// Outcomes is every report received for this rule; Conversions is the
+	// subset with bought=true.
+	Outcomes    int64 `json:"outcomes"`
+	Conversions int64 `json:"conversions"`
+
+	// Qty is the total units sold across conversions.
+	Qty float64 `json:"qty"`
+
+	// RealizedProfit is Σ (paidPrice − cost) × qty over conversions.
+	// ProjectedProfit is Σ Prof_re over all outcomes — what the model
+	// claimed this rule would earn per firing, summed over firings.
+	RealizedProfit  float64 `json:"realizedProfit"`
+	ProjectedProfit float64 `json:"projectedProfit"`
+}
+
+// Calibration is realized/projected profit — 1.0 means the mined
+// Prof_re matched reality, below 1 means the model over-promised.
+// Zero projected profit yields 0.
+func (s RuleStats) Calibration() float64 {
+	if s.ProjectedProfit == 0 { //lint:allow floatcmp -- guarding a division by zero
+		return 0
+	}
+	return s.RealizedProfit / s.ProjectedProfit
+}
+
+// ModelStats aggregates outcomes per model version, so operators can
+// compare how successive promotions actually performed.
+type ModelStats struct {
+	Version         int     `json:"version"`
+	Outcomes        int64   `json:"outcomes"`
+	Conversions     int64   `json:"conversions"`
+	RealizedProfit  float64 `json:"realizedProfit"`
+	ProjectedProfit float64 `json:"projectedProfit"`
+}
+
+// Calibration is realized/projected profit for the version (0 when
+// nothing was projected).
+func (s ModelStats) Calibration() float64 {
+	if s.ProjectedProfit == 0 { //lint:allow floatcmp -- guarding a division by zero
+		return 0
+	}
+	return s.RealizedProfit / s.ProjectedProfit
+}
+
+// Stats is a consistent point-in-time snapshot of the feedback loop,
+// served on /feedback/stats.
+type Stats struct {
+	// Outcomes / Conversions / profits across every rule and model.
+	Outcomes        int64   `json:"outcomes"`
+	Conversions     int64   `json:"conversions"`
+	RealizedProfit  float64 `json:"realizedProfit"`
+	ProjectedProfit float64 `json:"projectedProfit"`
+	Calibration     float64 `json:"calibration"`
+
+	// UnknownRules counts rejected reports whose ruleID matched no
+	// registered model (client bugs or reports for long-retired rules).
+	UnknownRules int64 `json:"unknownRules"`
+
+	// Rules holds per-rule aggregates, busiest first (ties broken by
+	// ruleID so the order is deterministic). Models is ordered by
+	// version.
+	Rules  []RuleStats  `json:"rules"`
+	Models []ModelStats `json:"models"`
+
+	Drift DriftState `json:"drift"`
+}
+
+// aggregates is the collector's mutable tally, snapshotted into Stats
+// under the collector mutex.
+type aggregates struct {
+	rules        map[string]*RuleStats
+	models       map[int]*ModelStats
+	unknownRules int64
+}
+
+func newAggregates() *aggregates {
+	return &aggregates{
+		rules:  make(map[string]*RuleStats),
+		models: make(map[int]*ModelStats),
+	}
+}
+
+func (a *aggregates) rule(id string) *RuleStats {
+	rs := a.rules[id]
+	if rs == nil {
+		rs = &RuleStats{RuleID: id}
+		a.rules[id] = rs
+	}
+	return rs
+}
+
+func (a *aggregates) model(version int) *ModelStats {
+	ms := a.models[version]
+	if ms == nil {
+		ms = &ModelStats{Version: version}
+		a.models[version] = ms
+	}
+	return ms
+}
+
+// apply folds one accepted outcome into the per-rule and per-model
+// tallies.
+func (a *aggregates) apply(ruleID string, version int, bought bool, qty, realized, projected float64) {
+	rs := a.rule(ruleID)
+	rs.Outcomes++
+	rs.ProjectedProfit += projected
+	ms := a.model(version)
+	ms.Outcomes++
+	ms.ProjectedProfit += projected
+	if bought {
+		rs.Conversions++
+		rs.Qty += qty
+		rs.RealizedProfit += realized
+		ms.Conversions++
+		ms.RealizedProfit += realized
+	}
+}
+
+// snapshot renders the tallies into a Stats value with deterministic
+// ordering. limitRules > 0 keeps only the busiest rules (the totals
+// still cover everything); limitRules < 0 returns totals only, with
+// both lists nil — the cheap form /metrics uses.
+func (a *aggregates) snapshot(limitRules int, drift DriftState) Stats {
+	st := Stats{
+		UnknownRules: a.unknownRules,
+		Drift:        drift,
+		Rules:        make([]RuleStats, 0, len(a.rules)),
+		Models:       make([]ModelStats, 0, len(a.models)),
+	}
+	for _, rs := range a.rules {
+		st.Rules = append(st.Rules, *rs)
+	}
+	sort.Slice(st.Rules, func(i, j int) bool {
+		if st.Rules[i].Outcomes != st.Rules[j].Outcomes {
+			return st.Rules[i].Outcomes > st.Rules[j].Outcomes
+		}
+		return st.Rules[i].RuleID < st.Rules[j].RuleID
+	})
+	// Totals are summed over the SORTED list: float addition is not
+	// associative, so summing in map-iteration order would let two
+	// snapshots of identical state disagree in the last bits — breaking
+	// the replay-reproduces-stats guarantee.
+	for i := range st.Rules {
+		rs := &st.Rules[i]
+		st.Outcomes += rs.Outcomes
+		st.Conversions += rs.Conversions
+		st.RealizedProfit += rs.RealizedProfit
+		st.ProjectedProfit += rs.ProjectedProfit
+	}
+	if st.ProjectedProfit != 0 { //lint:allow floatcmp -- guarding a division, not comparing computed values
+		st.Calibration = st.RealizedProfit / st.ProjectedProfit
+	}
+	if limitRules > 0 && len(st.Rules) > limitRules {
+		st.Rules = st.Rules[:limitRules]
+	}
+	for _, ms := range a.models {
+		st.Models = append(st.Models, *ms)
+	}
+	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].Version < st.Models[j].Version })
+	if limitRules < 0 {
+		st.Rules, st.Models = nil, nil
+	}
+	return st
+}

@@ -1,0 +1,368 @@
+// Package feedback closes the loop the rest of the system leaves open:
+// it records what customers actually did with the recommendations the
+// serving layer emitted, accounts realized profit against each rule's
+// projected Prof_re, and raises a drift signal when reality falls behind
+// the projections — the trigger the model registry's rebuild-and-swap
+// path has been waiting for.
+//
+// Outcomes are keyed by the stable content-hash rule IDs of
+// rules.StableID, so a purchase reported hours after the recommendation
+// joins back to the exact rule that fired even if the serving model has
+// been hot-swapped in between. Records are durable: every accepted
+// outcome is framed, checksummed, and appended to a write-ahead log
+// before it touches the in-memory aggregates, and a restart replays the
+// log back to byte-identical statistics.
+package feedback
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// WAL framing. Each segment file starts with an 8-byte magic; every
+// record is a length-prefixed, CRC-framed payload:
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload]
+//
+// The CRC covers the payload only; a corrupted length shows up as either
+// an impossible size (> maxRecordBytes) or a CRC mismatch on the
+// misframed bytes, so both framing fields are effectively protected.
+const (
+	segMagic       = "PMFBWAL1"
+	frameHeader    = 8
+	maxRecordBytes = 1 << 20
+)
+
+// castagnoli is the CRC-32C polynomial table (same polynomial modern
+// storage stacks use; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WALOptions tunes durability and rotation.
+type WALOptions struct {
+	// MaxSegmentBytes rotates the live segment once it grows past this
+	// size (default 64 MiB). Rotation is a frame boundary: a record never
+	// spans segments.
+	MaxSegmentBytes int64
+
+	// SyncEvery fsyncs the live segment after every n-th append: 1 is
+	// fsync-per-record (strongest durability, slowest), larger values
+	// amortize the sync over batches, 0 never fsyncs explicitly and
+	// leaves durability to the OS page cache (fastest; crash may lose the
+	// tail, which replay tolerates). Default 1.
+	SyncEvery int
+}
+
+// WAL is an append-only outcome log over numbered segment files in one
+// directory (outcomes-00000001.wal, …). Appends serialize on an internal
+// mutex held by the owning Collector; the WAL itself is not safe for
+// unsynchronized concurrent use.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	f         *os.File
+	seg       int   // index of the live segment
+	size      int64 // bytes in the live segment
+	sinceSync int
+	frame     []byte // reusable frame-assembly buffer
+}
+
+func segName(i int) string { return fmt.Sprintf("outcomes-%08d.wal", i) }
+
+// segments lists the WAL segment indexes present in dir, ascending.
+func segments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, e := range entries {
+		var i int
+		if _, err := fmt.Sscanf(e.Name(), "outcomes-%08d.wal", &i); err == nil && segName(i) == e.Name() {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// OpenWAL opens (creating if needed) the log in dir for appending. The
+// live segment's tail is repaired first: a torn or corrupted final frame
+// — the signature of a crash mid-append — is truncated away so new
+// appends extend a clean prefix. Call Replay before OpenWAL to rebuild
+// state; replay applies the same tail tolerance, so the two always agree
+// on where the log ends.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = 64 << 20
+	}
+	if opts.SyncEvery < 0 {
+		return nil, fmt.Errorf("feedback: negative SyncEvery %d", opts.SyncEvery)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feedback: creating WAL dir: %w", err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: listing WAL dir: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, seg: 1}
+	if len(segs) == 0 {
+		if err := w.createSegment(1); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	last := segs[len(segs)-1]
+	path := filepath.Join(dir, segName(last))
+	valid, err := validPrefix(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: opening live segment: %w", err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("feedback: repairing torn tail of %s: %w", path, err)
+	}
+	if valid < int64(len(segMagic)) {
+		// The crash hit segment creation itself: restore the magic so the
+		// segment stays parseable.
+		if _, err := f.Write([]byte(segMagic)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("feedback: rewriting segment magic: %w", err)
+		}
+		valid = int64(len(segMagic))
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.f, w.seg, w.size = f, last, valid
+	return w, nil
+}
+
+// createSegment starts segment i: an empty file holding only the magic.
+func (w *WAL) createSegment(i int) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(i)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("feedback: creating segment %d: %w", i, err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("feedback: writing segment magic: %w", err)
+	}
+	w.f, w.seg, w.size = f, i, int64(len(segMagic))
+	return nil
+}
+
+// Append frames payload and writes it to the live segment, rotating
+// first if the segment is full and fsyncing per the sync policy. The
+// record is on its way to disk when Append returns nil; with SyncEvery 1
+// it is durably on disk.
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) == 0 || len(payload) > maxRecordBytes {
+		return fmt.Errorf("feedback: record of %d bytes outside (0, %d]", len(payload), maxRecordBytes)
+	}
+	if w.size+int64(frameHeader+len(payload)) > w.opts.MaxSegmentBytes && w.size > int64(len(segMagic)) {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	need := frameHeader + len(payload)
+	if cap(w.frame) < need {
+		w.frame = make([]byte, need)
+	}
+	frame := w.frame[:need]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeader:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("feedback: appending record: %w", err)
+	}
+	w.size += int64(need)
+	w.sinceSync++
+	if w.opts.SyncEvery > 0 && w.sinceSync >= w.opts.SyncEvery {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("feedback: fsync: %w", err)
+		}
+		w.sinceSync = 0
+	}
+	return nil
+}
+
+// rotate seals the live segment (fsynced regardless of policy: sealed
+// segments are never tail-repaired, so they must be complete) and starts
+// the next one.
+func (w *WAL) rotate() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("feedback: fsync before rotation: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("feedback: sealing segment %d: %w", w.seg, err)
+	}
+	return w.createSegment(w.seg + 1)
+}
+
+// Sync forces an fsync of the live segment independent of the policy.
+func (w *WAL) Sync() error { return w.f.Sync() }
+
+// Size returns the total bytes across all segments, and the number of
+// segments, for metrics and benchmarks.
+func (w *WAL) Size() (bytes int64, segs int, err error) {
+	list, err := segments(w.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, i := range list {
+		info, err := os.Stat(filepath.Join(w.dir, segName(i)))
+		if err != nil {
+			return 0, 0, err
+		}
+		bytes += info.Size()
+	}
+	return bytes, len(list), nil
+}
+
+// Close fsyncs and closes the live segment.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// ReplayStats reports what a replay pass found.
+type ReplayStats struct {
+	Segments     int   `json:"segments"`
+	Records      int64 `json:"records"`
+	DroppedBytes int64 `json:"droppedBytes"` // torn/corrupt tail discarded from the last segment
+}
+
+// Replay streams every intact record of the log in append order through
+// fn. A torn or corrupted frame in the LAST segment is treated as the
+// tail of a crashed append: replay stops cleanly there and reports the
+// dropped bytes. The same damage in an earlier (sealed) segment is real
+// data loss and fails the replay. fn returning an error aborts.
+func Replay(dir string, fn func(payload []byte) error) (ReplayStats, error) {
+	var rs ReplayStats
+	segs, err := segments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return rs, nil
+		}
+		return rs, fmt.Errorf("feedback: listing WAL dir: %w", err)
+	}
+	rs.Segments = len(segs)
+	for n, i := range segs {
+		last := n == len(segs)-1
+		dropped, records, err := replaySegment(filepath.Join(dir, segName(i)), last, fn)
+		rs.Records += records
+		if err != nil {
+			return rs, err
+		}
+		if dropped > 0 {
+			rs.DroppedBytes += dropped
+		}
+	}
+	return rs, nil
+}
+
+// replaySegment replays one segment. When tailOK, a malformed frame ends
+// the segment silently (returning the dropped byte count); otherwise it
+// is an error.
+func replaySegment(path string, tailOK bool, fn func([]byte) error) (dropped, records int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("feedback: reading segment: %w", err)
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		if tailOK && len(data) < len(segMagic) {
+			// Crashed between segment creation and the magic write.
+			return int64(len(data)), 0, nil
+		}
+		return 0, 0, fmt.Errorf("feedback: %s is not a WAL segment", path)
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		rest := len(data) - off
+		bad := ""
+		var payload []byte
+		if rest < frameHeader {
+			bad = "torn frame header"
+		} else {
+			n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+			crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+			switch {
+			case n == 0 || n > maxRecordBytes:
+				bad = fmt.Sprintf("impossible record length %d", n)
+			case rest < frameHeader+n:
+				bad = "torn record payload"
+			default:
+				payload = data[off+frameHeader : off+frameHeader+n]
+				if crc32.Checksum(payload, castagnoli) != crc {
+					bad = "CRC mismatch"
+				}
+			}
+		}
+		if bad != "" {
+			if tailOK {
+				return int64(len(data) - off), records, nil
+			}
+			return 0, records, fmt.Errorf("feedback: sealed segment %s corrupt at offset %d: %s", path, off, bad)
+		}
+		if err := fn(payload); err != nil {
+			return 0, records, err
+		}
+		records++
+		off += frameHeader + len(payload)
+	}
+	return 0, records, nil
+}
+
+// validPrefix scans a segment and returns the byte offset of the end of
+// its last intact frame — the truncation point for tail repair. A file
+// without even an intact magic (crash at segment creation) has a valid
+// prefix of 0.
+func validPrefix(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return 0, nil
+	}
+	off := int64(len(segMagic))
+	valid := off
+	for off < int64(len(data)) {
+		rest := int64(len(data)) - off
+		if rest < frameHeader {
+			break
+		}
+		n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > maxRecordBytes || rest < frameHeader+n {
+			break
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break
+		}
+		off += frameHeader + n
+		valid = off
+	}
+	return valid, nil
+}

@@ -43,6 +43,15 @@ type genJSON struct {
 }
 
 type ruleJSON struct {
+	// ID is the rule's stable content-hash identity (rules.StableID),
+	// recorded so operators can join serving logs and feedback outcomes
+	// against the model file offline. It is derived data: Load recomputes
+	// it from body/head and rejects a file whose stored ID disagrees,
+	// which catches hand-edited rule bodies even on v1 files without a
+	// payload checksum. Files without the field (pre-feedback saves) load
+	// normally.
+	ID string `json:"id,omitempty"`
+
 	Body      []genJSON `json:"body,omitempty"`
 	Head      genJSON   `json:"head"`
 	BodyCount int       `json:"n"`
@@ -266,6 +275,7 @@ func (e encoder) gen(g hierarchy.GenID) (genJSON, error) {
 
 func (e encoder) rule(r *rules.Rule) (ruleJSON, error) {
 	rj := ruleJSON{
+		ID:        rules.StableID(e.space, r),
 		BodyCount: r.BodyCount,
 		HitCount:  r.HitCount,
 		Profit:    r.Profit,
@@ -360,6 +370,11 @@ func (d decoder) rule(rj *ruleJSON) (*rules.Rule, error) {
 	for i := 1; i < len(r.Body); i++ {
 		for j := i; j > 0 && r.Body[j] < r.Body[j-1]; j-- {
 			r.Body[j], r.Body[j-1] = r.Body[j-1], r.Body[j]
+		}
+	}
+	if rj.ID != "" {
+		if want := rules.StableID(d.space, r); rj.ID != want {
+			return nil, fmt.Errorf("modelio: rule ID %s does not match its content (want %s); file edited?", rj.ID, want)
 		}
 	}
 	return r, nil

@@ -63,6 +63,16 @@ type Options struct {
 	// ShadowMinSamples is how many shadowed requests a staged candidate
 	// must accumulate before it is auto-promoted (default 32).
 	ShadowMinSamples int
+
+	// OnPromote, when non-nil, is called with each snapshot right after
+	// it becomes active — the hook the feedback loop uses to register the
+	// new model's rule projections and clear the drift detector. It runs
+	// synchronously on whichever goroutine performed the promotion
+	// (Submit, PromoteStaged, or the shadow auto-promote inside a request)
+	// but outside the registry lock, so it may call back into the
+	// registry. Keep it fast: a promotion is not complete until it
+	// returns.
+	OnPromote func(*Snapshot)
 }
 
 // ShadowStats reports how a staged candidate compared to the active
@@ -182,7 +192,6 @@ func (r *Registry) Submit(cat *model.Catalog, rec *core.Recommender, source, has
 		return nil, Rejected, err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.versions++
 	snap := &Snapshot{
 		Version:  r.versions,
@@ -198,24 +207,37 @@ func (r *Registry) Submit(cat *model.Catalog, rec *core.Recommender, source, has
 			stride = 1
 		}
 		r.staged.Store(&staging{snap: snap, stride: stride})
+		r.mu.Unlock()
 		return snap, Staged, nil
 	}
 	r.staged.Store(nil)
 	r.active.Store(snap)
+	r.mu.Unlock()
+	r.notifyPromoted(snap)
 	return snap, Promoted, nil
+}
+
+// notifyPromoted runs the OnPromote hook for a snapshot that just became
+// active. Callers must not hold r.mu.
+func (r *Registry) notifyPromoted(snap *Snapshot) {
+	if r.opts.OnPromote != nil {
+		r.opts.OnPromote(snap)
+	}
 }
 
 // PromoteStaged force-promotes the staged candidate (the /admin/reload
 // escape hatch when shadow traffic is too thin to auto-promote).
 func (r *Registry) PromoteStaged() (*Snapshot, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	st := r.staged.Load()
 	if st == nil {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("registry: no staged candidate")
 	}
 	r.staged.Store(nil)
 	r.active.Store(st.snap)
+	r.mu.Unlock()
+	r.notifyPromoted(st.snap)
 	return st.snap, nil
 }
 
@@ -256,10 +278,15 @@ func (r *Registry) RecordShadow(snap *Snapshot, agreed bool, profitDelta float64
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	promoted := false
 	if cur := r.staged.Load(); cur == st {
 		r.staged.Store(nil)
 		r.active.Store(st.snap)
+		promoted = true
+	}
+	r.mu.Unlock()
+	if promoted {
+		r.notifyPromoted(st.snap)
 	}
 }
 

@@ -1,0 +1,56 @@
+package rules
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"math"
+
+	"profitmining/internal/hierarchy"
+)
+
+// idFormat versions the StableID hash input. Bump it if the hashed
+// fields ever change, so old and new IDs can never collide silently.
+const idFormat = "pmrule/v1"
+
+// StableID returns the content-hash identity of a rule: a hash over the
+// structural names of its body and head nodes plus the head promotion's
+// price. Two rules with the same body, head, and head price share an ID
+// even when they come from different model builds or different processes
+// — the property the feedback loop needs so an outcome reported hours
+// after the recommendation joins back to the exact rule that fired, even
+// across model hot-swaps. Interned GenIDs are deliberately not hashed:
+// they are stable only within one compiled space, while node names (and
+// the price) survive any internal renumbering, exactly as in the model
+// file format.
+//
+// The ID is "r" followed by 16 hex digits (the first 8 bytes of the
+// SHA-256), short enough for wire payloads and log lines while making
+// accidental collisions within a rule set vanishingly unlikely.
+func StableID(s *hierarchy.Space, r *Rule) string {
+	h := sha256.New()
+	io.WriteString(h, idFormat)
+	h.Write([]byte{0})
+	for _, g := range r.Body {
+		io.WriteString(h, s.Name(g))
+		h.Write([]byte{0})
+	}
+	h.Write([]byte{1})
+	io.WriteString(h, s.Name(r.Head))
+	h.Write([]byte{0})
+	// The head price pins the recommendation's economics independently of
+	// how promoLabel happens to render inside the node name.
+	price := s.Catalog().Promo(s.PromoOf(r.Head)).Price
+	var pb [8]byte
+	binary.LittleEndian.PutUint64(pb[:], math.Float64bits(price))
+	h.Write(pb[:])
+
+	sum := h.Sum(nil)
+	const hexdigits = "0123456789abcdef"
+	out := make([]byte, 1, 17)
+	out[0] = 'r'
+	for _, b := range sum[:8] {
+		out = append(out, hexdigits[b>>4], hexdigits[b&0xf])
+	}
+	return string(out)
+}

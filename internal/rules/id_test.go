@@ -1,0 +1,63 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"profitmining/internal/hierarchy"
+)
+
+// TestStableIDContentAddressed: the ID is a function of body, head, and
+// head price only — measures, generation order, and which Rule struct
+// carries them do not matter.
+func TestStableIDContentAddressed(t *testing.T) {
+	ts := newTestSpace(t)
+	a := &Rule{Body: []hierarchy.GenID{ts.a1}, Head: ts.t5, BodyCount: 10, HitCount: 4, Profit: 8, Order: 1}
+	b := &Rule{Body: []hierarchy.GenID{ts.a1}, Head: ts.t5, BodyCount: 99, HitCount: 1, Profit: 0.5, Order: 7}
+	if StableID(ts.s, a) != StableID(ts.s, b) {
+		t.Error("same body/head must share an ID regardless of measures")
+	}
+	id := StableID(ts.s, a)
+	if !strings.HasPrefix(id, "r") || len(id) != 17 {
+		t.Errorf("ID %q: want r + 16 hex digits", id)
+	}
+}
+
+// TestStableIDDistinguishes: different body, head, or head promo all
+// change the ID.
+func TestStableIDDistinguishes(t *testing.T) {
+	ts := newTestSpace(t)
+	base := &Rule{Body: []hierarchy.GenID{ts.a1}, Head: ts.t5}
+	cases := map[string]*Rule{
+		"different body":   {Body: []hierarchy.GenID{ts.b1}, Head: ts.t5},
+		"wider body":       {Body: []hierarchy.GenID{ts.a1, ts.b1}, Head: ts.t5},
+		"generalized body": {Body: []hierarchy.GenID{ts.aN}, Head: ts.t5},
+		"different head":   {Body: []hierarchy.GenID{ts.a1}, Head: ts.t6},
+		"default rule":     {Head: ts.t5},
+	}
+	baseID := StableID(ts.s, base)
+	seen := map[string]string{baseID: "base"}
+	for name, r := range cases {
+		id := StableID(ts.s, r)
+		if prev, dup := seen[id]; dup {
+			t.Errorf("%s collides with %s (id %s)", name, prev, id)
+		}
+		seen[id] = name
+	}
+}
+
+// TestStableIDSurvivesRecompilation: the ID must not depend on interned
+// GenIDs — a space compiled again (even with extra nodes shifting the
+// numbering) assigns the same ID to the structurally identical rule.
+func TestStableIDSurvivesRecompilation(t *testing.T) {
+	ts1 := newTestSpace(t)
+	r1 := &Rule{Body: []hierarchy.GenID{ts1.a1}, Head: ts1.t5}
+	want := StableID(ts1.s, r1)
+
+	// Second, independent compilation of the same catalog and hierarchy.
+	ts2 := newTestSpace(t)
+	r2 := &Rule{Body: []hierarchy.GenID{ts2.a1}, Head: ts2.t5}
+	if got := StableID(ts2.s, r2); got != want {
+		t.Errorf("recompiled space changed the rule ID: %s vs %s", got, want)
+	}
+}

@@ -106,7 +106,7 @@ func TestAdminReloadLifecycle(t *testing.T) {
 	if _, _, err := watcher.Check(); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(NewRegistry(reg, watcher.Check).Handler())
+	ts := httptest.NewServer(NewRegistry(reg, watcher.Check, nil).Handler())
 	t.Cleanup(ts.Close)
 
 	resp, body := getJSON(t, ts.URL+"/version")
@@ -169,7 +169,7 @@ func TestShadowPromotionOverHTTP(t *testing.T) {
 	if _, outcome, err := reg.Submit(catB, recB, "B", "hB"); err != nil || outcome != registry.Staged {
 		t.Fatalf("outcome %v, err %v", outcome, err)
 	}
-	ts := httptest.NewServer(NewRegistry(reg, nil).Handler())
+	ts := httptest.NewServer(NewRegistry(reg, nil, nil).Handler())
 	t.Cleanup(ts.Close)
 
 	// While staged, /version reports both sides.

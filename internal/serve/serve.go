@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"profitmining/internal/core"
+	"profitmining/internal/feedback"
 	"profitmining/internal/model"
 	"profitmining/internal/par"
 	"profitmining/internal/registry"
@@ -46,13 +47,17 @@ const maxBatchBody = 8 << 20
 // carry — the unit of fan-out, and therefore of per-request memory.
 const maxBatchBaskets = 1024
 
+// maxOutcomeBody caps a POST /outcome request: a single flat object of
+// six short fields.
+const maxOutcomeBody = 64 << 10
+
 // versionHeader names the response header carrying the model version
 // that served the request.
 const versionHeader = "X-Model-Version"
 
 // endpoints is the fixed route set, used to key the per-endpoint
 // request counters.
-var endpoints = []string{"/healthz", "/catalog", "/rules", "/recommend", "/recommend/batch", "/metrics", "/version", "/admin/reload"}
+var endpoints = []string{"/healthz", "/catalog", "/rules", "/recommend", "/recommend/batch", "/outcome", "/feedback/stats", "/metrics", "/version", "/admin/reload"}
 
 // Reloader triggers one registry poll outside the watch loop — the
 // POST /admin/reload hook. A nil snapshot with Unchanged means the
@@ -65,7 +70,8 @@ type Reloader func() (*registry.Snapshot, registry.Outcome, error)
 // concurrent requests.
 type Server struct {
 	reg    *registry.Registry
-	reload Reloader // nil: /admin/reload answers 501
+	reload Reloader            // nil: /admin/reload answers 501
+	fb     *feedback.Collector // never nil: NewRegistry defaults to in-memory
 
 	recommendations atomic.Int64
 	badRequests     atomic.Int64
@@ -85,22 +91,40 @@ type Server struct {
 // deployment has no old version to fall back to and serving it would
 // 500 every request anyway.
 func New(cat *model.Catalog, rec *core.Recommender) *Server {
-	reg, err := registry.New(registry.Options{})
+	fb, _, err := feedback.Open(feedback.Config{})
+	if err != nil {
+		panic(fmt.Sprintf("serve: %v", err))
+	}
+	reg, err := registry.New(registry.Options{
+		OnPromote: func(snap *registry.Snapshot) { RegisterSnapshot(fb, snap) },
+	})
 	if err != nil {
 		panic(fmt.Sprintf("serve: %v", err))
 	}
 	if _, _, err := reg.Submit(cat, rec, "static", ""); err != nil {
 		panic(fmt.Sprintf("serve: invalid model: %v", err))
 	}
-	return NewRegistry(reg, nil)
+	return NewRegistry(reg, nil, fb)
 }
 
 // NewRegistry creates a Server that reads its model through reg on
-// every request. reload, when non-nil, backs POST /admin/reload.
-func NewRegistry(reg *registry.Registry, reload Reloader) *Server {
+// every request. reload, when non-nil, backs POST /admin/reload. fb is
+// the outcome collector backing /outcome and /feedback/stats; nil gets
+// an in-memory collector, but then the registry must have been built
+// with an OnPromote hook feeding it (or /outcome will reject every
+// report as unknown) — callers that care wire both, as cmd/profitserve
+// and New do.
+func NewRegistry(reg *registry.Registry, reload Reloader, fb *feedback.Collector) *Server {
+	if fb == nil {
+		var err error
+		if fb, _, err = feedback.Open(feedback.Config{}); err != nil {
+			panic(fmt.Sprintf("serve: %v", err))
+		}
+	}
 	s := &Server{
 		reg:      reg,
 		reload:   reload,
+		fb:       fb,
 		requests: make(map[string]*atomic.Int64, len(endpoints)),
 		// 40 bins over [0, 20ms): basket scoring is sub-millisecond, so
 		// the clamp bin at 20ms doubles as the slow-request counter.
@@ -119,6 +143,8 @@ func NewRegistry(reg *registry.Registry, reload Reloader) *Server {
 //	GET  /rules?limit  — final rules in MPF rank order
 //	POST /recommend    — score a basket (optionally top-K)
 //	POST /recommend/batch — score many baskets in one request
+//	POST /outcome      — report what the customer did with a recommendation
+//	GET  /feedback/stats — realized-profit accounting and drift state
 //	GET  /metrics      — counters and request-latency histogram
 //	GET  /version      — active model version, hash, staged candidate, shadow stats
 //	POST /admin/reload — poll the model file now (501 without a reloader)
@@ -129,6 +155,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/rules", s.instrument("/rules", s.rules))
 	mux.HandleFunc("/recommend", s.instrument("/recommend", s.recommend))
 	mux.HandleFunc("/recommend/batch", s.instrument("/recommend/batch", s.recommendBatch))
+	mux.HandleFunc("/outcome", s.instrument("/outcome", s.outcome))
+	mux.HandleFunc("/feedback/stats", s.instrument("/feedback/stats", s.feedbackStats))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.metrics))
 	mux.HandleFunc("/version", s.instrument("/version", s.version))
 	mux.HandleFunc("/admin/reload", s.instrument("/admin/reload", s.adminReload))
@@ -181,11 +209,26 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.latencyMu.Unlock()
 
+	fbStats := s.fb.Stats(-1)
+	fb := map[string]any{
+		"outcomes":       fbStats.Outcomes,
+		"conversions":    fbStats.Conversions,
+		"realizedProfit": fbStats.RealizedProfit,
+		"calibration":    fbStats.Calibration,
+		"unknownRules":   fbStats.UnknownRules,
+		"drifting":       fbStats.Drift.Drifting,
+	}
+	if bytes, segs, err := s.fb.LogSize(); err == nil {
+		fb["walBytes"] = bytes
+		fb["walSegments"] = segs
+	}
+
 	body := map[string]any{
 		"recommendations": s.recommendations.Load(),
 		"badRequests":     s.badRequests.Load(),
 		"requests":        reqs,
 		"latency":         lat,
+		"feedback":        fb,
 	}
 	if snap := s.reg.Active(); snap != nil {
 		body["rules"] = snap.Rec.Stats().RulesFinal
@@ -209,6 +252,7 @@ func (s *Server) version(w http.ResponseWriter, r *http.Request) {
 		body["source"] = snap.Source
 		body["loadedAt"] = snap.LoadedAt
 		body["rules"] = snap.Rec.Stats().RulesFinal
+		body["drift"] = s.fb.Drift()
 	}
 	if staged := s.reg.Staged(); staged != nil {
 		st := map[string]any{
@@ -283,6 +327,7 @@ type recommendationJSON struct {
 	Profit  float64  `json:"profitPerSale"`
 	ProfRe  float64  `json:"profRe"`
 	Conf    float64  `json:"confidence"`
+	RuleID  string   `json:"ruleID"`
 	Rule    string   `json:"rule"`
 	Explain []string `json:"explain,omitempty"`
 }
@@ -309,9 +354,10 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"rules":  snap.Rec.Stats().RulesFinal,
-		"items":  snap.Cat.NumItems(),
+		"status":   "ok",
+		"rules":    snap.Rec.Stats().RulesFinal,
+		"items":    snap.Cat.NumItems(),
+		"drifting": s.fb.Drifting(),
 	})
 }
 
@@ -371,35 +417,51 @@ func (s *Server) rules(w http.ResponseWriter, r *http.Request) {
 	if limit > len(final) {
 		limit = len(final)
 	}
-	out := make([]string, 0, limit)
+	type ruleJSON struct {
+		ID   string `json:"id"`
+		Rule string `json:"rule"`
+	}
+	out := make([]ruleJSON, 0, limit)
 	for _, rule := range final[:limit] {
-		out = append(out, rule.String(snap.Rec.Space()))
+		out = append(out, ruleJSON{ID: snap.Rec.RuleID(rule), Rule: rule.String(snap.Rec.Space())})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"rules": out, "total": snap.Rec.Stats().RulesFinal})
 }
 
-func (s *Server) recommend(w http.ResponseWriter, r *http.Request) {
+// readPostJSON is the shared intake discipline for every POST endpoint:
+// POST only (405), application/json only (415), a hard body-size cap
+// (413), and strict decoding (400). Every rejection counts against
+// badRequests. It reports whether dst was populated and the handler
+// should proceed.
+func (s *Server) readPostJSON(w http.ResponseWriter, r *http.Request, limit int64, dst any) bool {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
-		return
+		return false
 	}
 	ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if err != nil || ct != "application/json" {
 		s.badRequests.Add(1)
 		s.fail(w, http.StatusUnsupportedMediaType, "Content-Type must be application/json")
-		return
+		return false
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, maxRecommendBody)
-	var req recommendRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
 		s.badRequests.Add(1)
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.fail(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
-			return
+			return false
 		}
 		s.fail(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) recommend(w http.ResponseWriter, r *http.Request) {
+	var req recommendRequest
+	if !s.readPostJSON(w, r, maxRecommendBody, &req) {
 		return
 	}
 	snap := s.snapshot(w)
@@ -455,27 +517,8 @@ type batchResponse struct {
 // feed shadow scoring: the sampler's stride is calibrated for
 // request-sized units.
 func (s *Server) recommendBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
-	if err != nil || ct != "application/json" {
-		s.badRequests.Add(1)
-		s.fail(w, http.StatusUnsupportedMediaType, "Content-Type must be application/json")
-		return
-	}
-	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.badRequests.Add(1)
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			s.fail(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
-			return
-		}
-		s.fail(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+	if !s.readPostJSON(w, r, maxBatchBody, &req) {
 		return
 	}
 	if len(req.Baskets) > maxBatchBaskets {
@@ -515,6 +558,110 @@ func (s *Server) recommendBatch(w http.ResponseWriter, r *http.Request) {
 	})
 	s.recommendations.Add(scored.Load())
 	writeBatchResponse(w, resp.Results, resp.ModelVersion)
+}
+
+// outcomeRequest is the POST /outcome payload: what the customer did
+// with a previously served recommendation, keyed by the stable rule ID
+// the recommendation carried.
+type outcomeRequest struct {
+	RequestID    string  `json:"requestID"`
+	RuleID       string  `json:"ruleID"`
+	ModelVersion int     `json:"modelVersion"`
+	Bought       bool    `json:"bought"`
+	Qty          float64 `json:"qty"`
+	PaidPrice    float64 `json:"paidPrice"`
+}
+
+// outcome journals a customer-outcome report into the feedback
+// collector. 422 flags a ruleID no registered model has served —
+// distinct from 400 so clients can tell "my report is malformed" from
+// "the rule I am reporting on is gone".
+func (s *Server) outcome(w http.ResponseWriter, r *http.Request) {
+	var req outcomeRequest
+	if !s.readPostJSON(w, r, maxOutcomeBody, &req) {
+		return
+	}
+	if req.RuleID == "" {
+		s.badRequests.Add(1)
+		s.fail(w, http.StatusBadRequest, "ruleID is required")
+		return
+	}
+	if req.Qty < 0 || req.PaidPrice < 0 {
+		s.badRequests.Add(1)
+		s.fail(w, http.StatusBadRequest, "qty and paidPrice must be non-negative")
+		return
+	}
+	receipt, err := s.fb.Record(feedback.Outcome{
+		RequestID:    req.RequestID,
+		RuleID:       req.RuleID,
+		ModelVersion: req.ModelVersion,
+		Bought:       req.Bought,
+		Qty:          req.Qty,
+		PaidPrice:    req.PaidPrice,
+	})
+	if err != nil {
+		if errors.Is(err, feedback.ErrUnknownRule) {
+			s.badRequests.Add(1)
+			s.fail(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		s.fail(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, receipt)
+}
+
+// feedbackStats reports the realized-profit accounting:
+// per-rule and per-model aggregates plus the drift detector state.
+// ?limit caps the per-rule list (default 50); totals always cover
+// every rule.
+func (s *Server) feedbackStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	limit := 50
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			s.fail(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = v
+	}
+	writeJSON(w, http.StatusOK, s.fb.Stats(limit))
+}
+
+// RegisterSnapshot feeds a freshly promoted snapshot's rule projections
+// into the feedback collector — the glue callers hang on
+// registry.Options.OnPromote. It walks the final rules in MPF order and
+// then the per-item alternates, so the projection list (and therefore
+// the collector's model content key) is deterministic for a given
+// model.
+func RegisterSnapshot(fb *feedback.Collector, snap *registry.Snapshot) {
+	space := snap.Rec.Space()
+	final, alt := snap.Rec.Rules(), snap.Rec.Alternates()
+	seen := make(map[*rules.Rule]bool, len(final)+len(alt))
+	projs := make([]feedback.RuleProjection, 0, len(final)+len(alt))
+	for _, rs := range [][]*rules.Rule{final, alt} {
+		for _, rule := range rs {
+			if seen[rule] {
+				continue
+			}
+			seen[rule] = true
+			promo := snap.Cat.Promo(space.PromoOf(rule.Head))
+			projs = append(projs, feedback.RuleProjection{
+				ID:     snap.Rec.RuleID(rule),
+				ProfRe: rule.ProfRe(),
+				Conf:   rule.Conf(),
+				Price:  promo.Price,
+				Cost:   promo.Cost,
+			})
+		}
+	}
+	if err := fb.RegisterModel(snap.Version, snap.Hash, projs); err != nil {
+		log.Printf("serve: registering model v%d with feedback collector: %v", snap.Version, err)
+	}
 }
 
 // shadowScore replays the request against a staged candidate when the
@@ -626,6 +773,7 @@ func encodeRecommendation(snap *registry.Snapshot, rec core.Recommendation) reco
 		Profit:  promo.Profit(),
 		ProfRe:  rec.Rule.ProfRe(),
 		Conf:    rec.Rule.Conf(),
+		RuleID:  snap.Rec.RuleID(rec.Rule),
 		Rule:    rec.Rule.String(snap.Rec.Space()),
 		Explain: snap.Rec.Explain(rec),
 	}

@@ -91,7 +91,7 @@ func TestConcurrentSwapNoTornPairs(t *testing.T) {
 	if _, _, err := reg.Submit(catA, recA, "A", "hA"); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(NewRegistry(reg, nil).Handler())
+	ts := httptest.NewServer(NewRegistry(reg, nil, nil).Handler())
 	defer ts.Close()
 
 	// Version parity encodes the expected scale: v1=A, v2=B, v3=A, …

@@ -5,8 +5,9 @@
 # first, then overwrites the model file and polls GET /version until the
 # new content hash is active (fails on timeout). Along the way it checks
 # that traffic keeps flowing during the swap, that a corrupt candidate
-# is rejected while the old version keeps serving, and that SIGTERM
-# drains cleanly.
+# is rejected while the old version keeps serving, that the feedback
+# loop accepts outcome reports and accounts for them on
+# /feedback/stats, and that SIGTERM drains cleanly.
 set -euo pipefail
 
 ADDR="127.0.0.1:${SMOKE_PORT:-18080}"
@@ -34,7 +35,8 @@ cmp -s "$workdir/m1.pmm" "$workdir/m2.pmm" && fail "the two models are byte-iden
 echo "== starting profitserve -watch"
 go build -o "$workdir/profitserve" ./cmd/profitserve
 cp "$workdir/m1.pmm" "$workdir/model.pmm"
-"$workdir/profitserve" -model "$workdir/model.pmm" -watch -poll 250ms -addr "$ADDR" &
+"$workdir/profitserve" -model "$workdir/model.pmm" -watch -poll 250ms -addr "$ADDR" \
+    -feedback-dir "$workdir/feedback" &
 server_pid=$!
 
 for i in $(seq 1 50); do
@@ -66,6 +68,27 @@ out=$(curl -s -X POST "$BASE/admin/reload")
 echo "$out" | grep -q '"outcome":"rejected"' || fail "corrupt reload not rejected: $out"
 now=$(curl -sf "$BASE/version" | json_field hash)
 [ "$now" = "$hash2" ] || fail "corrupt candidate disturbed serving: $now"
+
+echo "== closing the loop: outcome reports land in /feedback/stats"
+rule_id=$(curl -sf "$BASE/rules?limit=1" | json_field id)
+[ -n "$rule_id" ] || fail "/rules returned no stable rule ID"
+echo "   reporting outcomes for $rule_id"
+out=$(curl -s -X POST -H 'Content-Type: application/json' \
+    -d "{\"requestID\":\"smoke-1\",\"ruleID\":\"$rule_id\",\"bought\":true}" "$BASE/outcome")
+echo "$out" | grep -q '"seq":1' || fail "first outcome got no receipt: $out"
+for i in 2 3; do
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        -d "{\"requestID\":\"smoke-$i\",\"ruleID\":\"$rule_id\"}" "$BASE/outcome" >/dev/null \
+        || fail "outcome $i rejected"
+done
+stats=$(curl -sf "$BASE/feedback/stats")
+echo "$stats" | grep -q '"outcomes":3' || fail "/feedback/stats did not account 3 outcomes: $stats"
+echo "$stats" | grep -q '"conversions":1' || fail "/feedback/stats did not account the conversion: $stats"
+echo "$stats" | grep -q '"drift":{' || fail "/feedback/stats carries no drift state: $stats"
+curl -sf "$BASE/healthz" | grep -q '"drifting":' || fail "/healthz does not expose the drift flag"
+curl -s -X POST -H 'Content-Type: application/json' \
+    -d '{"ruleID":"r0000000000000000"}' "$BASE/outcome" | grep -q 'unknown rule' \
+    || fail "unknown-rule outcome was not rejected"
 
 echo "== graceful drain on SIGTERM"
 kill -TERM "$server_pid"
