@@ -18,7 +18,10 @@ func TestRegisteredSuite(t *testing.T) {
 		}
 		names = append(names, a.Name)
 	}
-	want := []string{"detguard", "droppederr", "floatcmp", "hotpath", "rankorder"}
+	want := []string{
+		"atomiczone", "detguard", "droppederr", "floatcmp", "hotpath",
+		"leakcheck", "poolescape", "rankorder", "walorder",
+	}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("registered analyzers = %v, want %v", names, want)
 	}

@@ -167,20 +167,28 @@ func main() {
 	log.Printf("serving version %d: %d rules over %d items on %s",
 		active.Version, active.Rec.Stats().RulesFinal, active.Cat.NumItems(), *addr)
 
+	// The profiling mux listens on its own, operator-chosen address; it
+	// is never mounted on the public serving port. The server handle and
+	// done channel outlive the if so the drain path below can close the
+	// listener and join the goroutine — otherwise the admin port would
+	// keep accepting connections after the serving socket has drained.
+	var admin *http.Server
+	adminDone := make(chan struct{})
 	if *pprofAddr != "" {
-		// The profiling mux listens on its own, operator-chosen address;
-		// it is never mounted on the public serving port.
-		admin := &http.Server{
+		admin = &http.Server{
 			Addr:              *pprofAddr,
 			Handler:           serve.AdminHandler(),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
+			defer close(adminDone)
 			log.Printf("pprof admin mux on %s", *pprofAddr)
 			if err := admin.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("pprof admin mux: %v", err)
 			}
 		}()
+	} else {
+		close(adminDone)
 	}
 
 	srv := &http.Server{
@@ -216,6 +224,10 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fail(err)
 		}
+		if admin != nil {
+			admin.Close()
+		}
+		<-adminDone
 		log.Printf("drained; bye")
 	}
 }

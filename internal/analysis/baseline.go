@@ -1,0 +1,153 @@
+package analysis
+
+// The findings baseline lets CI fail on NEW findings without freezing
+// legacy ones: `profitlint -baseline lint_baseline.json ./...` exits
+// nonzero only when a (file, analyzer, message) group exceeds the count
+// the baseline recorded. Entries deliberately carry no line numbers —
+// an unrelated edit that shifts code down a line must not invalidate
+// the baseline — and counts rather than a flat allow-list, so adding a
+// SECOND instance of a baselined mistake in the same file still fails.
+//
+// Stale entries (baselined findings that no longer occur) are reported
+// as warnings but do not fail the run: the fix is to regenerate with
+// -write-baseline, and CI stays green in the meantime.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A Finding is one diagnostic in machine-readable form, with the file
+// made repository-relative so baselines are stable across checkouts.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// A Baseline records accepted findings as (file, analyzer, message)
+// groups with occurrence counts.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// A BaselineEntry is one accepted finding group.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %v", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// NewBaseline groups findings into a baseline, sorted for stable diffs.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, f := range findings {
+		counts[baselineKey{f.File, f.Analyzer, f.Message}]++
+	}
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{File: k.file, Analyzer: k.analyzer, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Write saves the baseline as indented JSON with a trailing newline.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// Diff compares current findings against the baseline. new findings are
+// those exceeding a group's baselined count; stale entries are groups
+// the baseline accepts that no longer occur at their full count.
+func (b *Baseline) Diff(findings []Finding) (fresh []Finding, stale []BaselineEntry) {
+	allowed := map[baselineKey]int{}
+	for _, e := range b.Findings {
+		allowed[baselineKey{e.File, e.Analyzer, e.Message}] += e.Count
+	}
+	seen := map[baselineKey]int{}
+	for _, f := range findings {
+		k := baselineKey{f.File, f.Analyzer, f.Message}
+		seen[k]++
+		if seen[k] > allowed[k] {
+			fresh = append(fresh, f)
+		}
+	}
+	for _, e := range b.Findings {
+		k := baselineKey{e.File, e.Analyzer, e.Message}
+		if seen[k] < e.Count {
+			leftover := e
+			leftover.Count = e.Count - seen[k]
+			stale = append(stale, leftover)
+		}
+		seen[k] = 0 // count duplicates entries in the baseline once
+	}
+	return fresh, stale
+}
+
+// relFinding converts one positioned diagnostic to a Finding with a
+// root-relative path (falling back to the raw path outside the root).
+func relFinding(root string, position token.Position, analyzer, message string) Finding {
+	file := position.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !isOutside(rel) {
+		file = filepath.ToSlash(rel)
+	}
+	return Finding{File: file, Line: position.Line, Analyzer: analyzer, Message: message}
+}
+
+func isOutside(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// WriteFindings saves findings as indented JSON — the artifact CI
+// uploads when the lint gate fails.
+func WriteFindings(path string, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}

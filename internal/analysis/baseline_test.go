@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func mkFinding(file, analyzer, msg string, line int) Finding {
+	return Finding{File: file, Line: line, Analyzer: analyzer, Message: msg}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		mkFinding("a/a.go", "poolescape", "sc used after release", 10),
+		mkFinding("a/a.go", "poolescape", "sc used after release", 40),
+		mkFinding("b/b.go", "walorder", "ack before journal", 7),
+	}
+	b := NewBaseline(findings)
+	if len(b.Findings) != 2 {
+		t.Fatalf("grouping: got %d entries, want 2 (duplicates counted, not listed)", len(b.Findings))
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The exact findings that produced the baseline are all accepted,
+	// line numbers notwithstanding.
+	shifted := []Finding{
+		mkFinding("a/a.go", "poolescape", "sc used after release", 11),
+		mkFinding("a/a.go", "poolescape", "sc used after release", 41),
+		mkFinding("b/b.go", "walorder", "ack before journal", 99),
+	}
+	fresh, stale := loaded.Diff(shifted)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("line-shifted findings should match exactly: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestBaselineCountExceeded(t *testing.T) {
+	b := NewBaseline([]Finding{
+		mkFinding("a/a.go", "poolescape", "sc used after release", 10),
+	})
+	// A second instance of the same baselined mistake in the same file
+	// is NEW, not grandfathered.
+	fresh, _ := b.Diff([]Finding{
+		mkFinding("a/a.go", "poolescape", "sc used after release", 10),
+		mkFinding("a/a.go", "poolescape", "sc used after release", 50),
+	})
+	if len(fresh) != 1 {
+		t.Fatalf("count overflow: got %d new findings, want 1", len(fresh))
+	}
+}
+
+func TestBaselineNewFindingAndStaleEntry(t *testing.T) {
+	b := NewBaseline([]Finding{
+		mkFinding("a/a.go", "poolescape", "old accepted finding", 10),
+	})
+	fresh, stale := b.Diff([]Finding{
+		mkFinding("c/c.go", "leakcheck", "brand new goroutine leak", 3),
+	})
+	if len(fresh) != 1 || fresh[0].Analyzer != "leakcheck" {
+		t.Fatalf("new finding not detected: %v", fresh)
+	}
+	if len(stale) != 1 || stale[0].Message != "old accepted finding" {
+		t.Fatalf("fixed finding not reported stale: %v", stale)
+	}
+}
+
+func TestBaselineEmptyIsStrict(t *testing.T) {
+	b := NewBaseline(nil)
+	fresh, stale := b.Diff([]Finding{mkFinding("x.go", "walorder", "boom", 1)})
+	if len(fresh) != 1 || len(stale) != 0 {
+		t.Fatalf("empty baseline must pass every finding through: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestBaselineVersionGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := (&Baseline{Version: 2}).Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("loading a future baseline version must fail loudly, not silently accept everything")
+	}
+}

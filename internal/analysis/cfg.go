@@ -1,0 +1,454 @@
+package analysis
+
+// This file grows the framework from per-file AST walking into a
+// lightweight intraprocedural dataflow engine: a per-function
+// control-flow graph over go/ast, sized for the path-sensitive
+// invariants the project analyzers check (WAL-append-before-ack,
+// pooled-value lifetimes, one-snapshot-per-request). It deliberately
+// mirrors the shape of golang.org/x/tools/go/cfg — blocks of statements
+// with successor edges — without the dependency.
+//
+// Granularity is the statement: each block holds the statements (and
+// guarding expressions) that execute unconditionally once the block is
+// entered, in execution order. Compound statements contribute their
+// scaffolding to the enclosing block (an if's Init and Cond, a switch's
+// Tag) and their bodies to successor blocks. Function literals are NOT
+// descended into: a FuncLit is a value, not control flow of the
+// enclosing function; analyzers build a separate CFG for its body.
+//
+// Deferred calls run at function exit, so the builder collects them and
+// parks each *ast.CallExpr in the virtual Exit block (last-in,
+// first-out). Ordering queries therefore see a deferred release where
+// it semantically happens — after every return — not where the defer
+// statement sits. The DeferStmt node itself stays in its home block,
+// where its arguments are evaluated.
+
+import (
+	"go/ast"
+)
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is the block control enters first.
+	Entry *Block
+
+	// Exit is a virtual block reached by every return and by falling
+	// off the end of the body. Its Nodes are the function's deferred
+	// calls in execution (LIFO) order. Paths that end in panic or a
+	// recognized no-return call do not reach Exit.
+	Exit *Block
+
+	// Blocks lists every block, Entry first, Exit last.
+	Blocks []*Block
+}
+
+// A Block is a sequence of nodes that execute in order, followed by a
+// transfer of control to one of Succs.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// NoReturn reports whether a call never returns. The builder cuts the
+// fallthrough edge after a statement that ends in one, so "log.Fatal
+// then done" paths do not leak into reachability answers. It is
+// syntactic (no type information is needed at CFG-build time): the
+// panic builtin, os.Exit, runtime.Goexit and the log.Fatal family.
+func NoReturn(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// NewCFG builds the control-flow graph of one function body. body may
+// be nil (a declaration without a body), yielding a trivial graph.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*labelBlocks{},
+	}
+	entry := b.newBlock()
+	b.cfg.Entry = entry
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	// Deferred calls execute LIFO at every exit from the function.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		exit.Nodes = append(exit.Nodes, b.defers[i])
+	}
+	b.jump(exit) // falling off the end
+	for _, ret := range b.returns {
+		ret.Succs = append(ret.Succs, exit)
+	}
+	return b.cfg
+}
+
+// labelBlocks tracks the jump targets a label exposes.
+type labelBlocks struct {
+	breakTo    *Block // filled while the labeled loop/switch is open
+	continueTo *Block
+	gotoTo     *Block // the block starting at the labeled statement
+	pending    []*Block
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+
+	// cur is the block under construction; nil after a terminating
+	// statement (return, break, panic) until new reachable code starts.
+	cur *Block
+
+	// Innermost-first stacks of break/continue targets.
+	breaks    []*Block
+	continues []*Block
+
+	labels  map[string]*labelBlocks
+	defers  []ast.Node
+	returns []*Block // blocks ending in return, wired to Exit at the end
+
+	// labeledStmt is the LabeledStmt whose child is about to be built,
+	// so a labeled loop/switch can claim its label's break/continue
+	// targets. fallthroughTo is the next case clause while a switch
+	// clause body is being built.
+	labeledStmt   *ast.LabeledStmt
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// add appends a node to the current block, starting an unreachable
+// placeholder block if control cannot reach here (dead code still gets
+// analyzed, just without inbound edges).
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump ends the current block with an edge to target.
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil && target != nil {
+		b.cur.Succs = append(b.cur.Succs, target)
+	}
+	b.cur = nil
+}
+
+// startBlock begins a new current block reached by an edge from the
+// previous one (if any).
+func (b *cfgBuilder) startBlock() *Block {
+	blk := b.newBlock()
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && NoReturn(call) {
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.returns = append(b.returns, b.cur)
+		}
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		// Arguments are evaluated here; the call itself runs at Exit.
+		b.add(s)
+		b.defers = append(b.defers, s.Call)
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		guard := b.cur
+		if guard == nil {
+			guard = b.startBlock()
+		}
+		b.cur = nil
+		// Then branch.
+		thenEntry := b.newBlock()
+		guard.Succs = append(guard.Succs, thenEntry)
+		b.cur = thenEntry
+		b.stmt(s.Body)
+		thenExit := b.cur
+		b.cur = nil
+		// Else branch (possibly empty).
+		var elseExit *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			elseEntry := b.newBlock()
+			guard.Succs = append(guard.Succs, elseEntry)
+			b.cur = elseEntry
+			b.stmt(s.Else)
+			elseExit = b.cur
+			b.cur = nil
+		}
+		join := b.newBlock()
+		if !hasElse {
+			guard.Succs = append(guard.Succs, join)
+		}
+		if thenExit != nil {
+			thenExit.Succs = append(thenExit.Succs, join)
+		}
+		if elseExit != nil {
+			elseExit.Succs = append(elseExit.Succs, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		b.add(s.Init)
+		head := b.startBlock()
+		b.add(s.Cond)
+		join := b.newBlock()
+		if s.Cond != nil {
+			head.Succs = append(head.Succs, join)
+		}
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		b.cur = body
+		b.pushLoop(join, head, s)
+		b.stmt(s.Body)
+		b.add(s.Post)
+		b.popLoop()
+		b.jump(head)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		// The range head evaluates X and assigns Key/Value each turn.
+		b.add(s)
+		head := b.cur
+		if head == nil {
+			head = b.startBlock()
+		}
+		b.cur = nil
+		join := b.newBlock()
+		head.Succs = append(head.Succs, join) // empty range
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		b.cur = body
+		b.pushLoop(join, head, s)
+		b.stmt(s.Body)
+		b.popLoop()
+		b.jump(head)
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.switchBody(s.Body, s, false)
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.switchBody(s.Body, s, false)
+
+	case *ast.SelectStmt:
+		b.switchBody(s.Body, s, true)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.LabeledStmt:
+		lb := b.label(s.Label.Name)
+		target := b.startBlock()
+		lb.gotoTo = target
+		for _, p := range lb.pending {
+			p.Succs = append(p.Succs, target)
+		}
+		lb.pending = nil
+		b.labeledStmt = s
+		b.stmt(s.Stmt)
+
+	case *ast.GoStmt, *ast.SendStmt, *ast.AssignStmt, *ast.IncDecStmt,
+		*ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		// Anything unhandled is treated as a straight-line statement.
+		b.add(s)
+	}
+}
+
+// pushLoop publishes break/continue targets for the loop being built,
+// including under its label if it has one.
+func (b *cfgBuilder) pushLoop(breakTo, continueTo *Block, loop ast.Stmt) {
+	b.breaks = append(b.breaks, breakTo)
+	b.continues = append(b.continues, continueTo)
+	if l := b.takeLabel(loop); l != nil {
+		l.breakTo = breakTo
+		l.continueTo = continueTo
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// switchBody builds the clause structure shared by switch, type switch
+// and select. isSelect distinguishes select's blocking semantics: a
+// select with no default has no fall-past edge.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, sw ast.Stmt, isSelect bool) {
+	head := b.cur
+	if head == nil {
+		head = b.startBlock()
+	}
+	b.cur = nil
+	join := b.newBlock()
+	b.breaks = append(b.breaks, join)
+	b.continues = append(b.continues, nil)
+	if l := b.takeLabel(sw); l != nil {
+		l.breakTo = join
+	}
+
+	hasDefault := false
+	var clauseBlocks []*Block
+	var clauseBodies [][]ast.Stmt
+	for _, cs := range body.List {
+		blk := b.newBlock()
+		head.Succs = append(head.Succs, blk)
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseBodies = append(clauseBodies, cs.Body)
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.Nodes = append(blk.Nodes, cs.Comm)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseBodies = append(clauseBodies, cs.Body)
+		}
+	}
+	if !hasDefault && !isSelect {
+		// No case may match: control falls past the switch.
+		head.Succs = append(head.Succs, join)
+	}
+	for i, blk := range clauseBlocks {
+		b.cur = blk
+		b.fallthroughTo = nil
+		if i+1 < len(clauseBlocks) {
+			b.fallthroughTo = clauseBlocks[i+1]
+		}
+		b.stmtList(clauseBodies[i])
+		b.jump(join)
+	}
+	b.fallthroughTo = nil
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok.String() {
+	case "break":
+		if s.Label != nil {
+			if l := b.labels[s.Label.Name]; l != nil && l.breakTo != nil {
+				b.jump(l.breakTo)
+				return
+			}
+		}
+		for i := len(b.breaks) - 1; i >= 0; i-- {
+			if b.breaks[i] != nil {
+				b.jump(b.breaks[i])
+				return
+			}
+		}
+		b.cur = nil
+	case "continue":
+		if s.Label != nil {
+			if l := b.labels[s.Label.Name]; l != nil && l.continueTo != nil {
+				b.jump(l.continueTo)
+				return
+			}
+		}
+		for i := len(b.continues) - 1; i >= 0; i-- {
+			if b.continues[i] != nil {
+				b.jump(b.continues[i])
+				return
+			}
+		}
+		b.cur = nil
+	case "goto":
+		l := b.label(s.Label.Name)
+		if l.gotoTo != nil {
+			b.jump(l.gotoTo)
+			return
+		}
+		// Forward goto: record the block; the edge lands when the
+		// label is reached.
+		if b.cur != nil {
+			l.pending = append(l.pending, b.cur)
+		}
+		b.cur = nil
+	case "fallthrough":
+		b.jump(b.fallthroughTo)
+	}
+}
+
+func (b *cfgBuilder) label(name string) *labelBlocks {
+	l := b.labels[name]
+	if l == nil {
+		l = &labelBlocks{}
+		b.labels[name] = l
+	}
+	return l
+}
+
+// takeLabel returns (and consumes) the label wrapping stmt, if the
+// statement being built is the direct child of a LabeledStmt.
+func (b *cfgBuilder) takeLabel(stmt ast.Stmt) *labelBlocks {
+	if b.labeledStmt != nil && b.labeledStmt.Stmt == stmt {
+		l := b.label(b.labeledStmt.Label.Name)
+		b.labeledStmt = nil
+		return l
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc parses and type-checks a dependency-free source file.
+func typecheckSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{}
+	if _, err := conf.Check("t", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, f, info
+}
+
+func findFunc(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no function %q in fixture", name)
+	return nil
+}
+
+// isCallTo matches a call to a plain identifier of the given name.
+func isCallTo(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func isReturn(n ast.Node) bool {
+	_, ok := n.(*ast.ReturnStmt)
+	return ok
+}
+
+const cfgFixture = `package t
+
+func journal() {}
+func ack()     {}
+func use()     {}
+func release() {}
+func get() int    { return 0 }
+func fresh() int  { return 1 }
+func put(x int)   { _ = x }
+
+func dominated(ok bool) int {
+	journal()
+	if ok {
+		return 0
+	}
+	return 1
+}
+
+func exposed(ok bool) int {
+	if ok {
+		journal()
+		return 0
+	}
+	return 1
+}
+
+func loop(n int) {
+	for i := 0; i < n; i++ {
+		use()
+	}
+	ack()
+}
+
+func deferred() {
+	defer release()
+	use()
+}
+
+func deadAfterPanic(ok bool) {
+	if !ok {
+		panic("no")
+	}
+	ack()
+}
+
+func unreachableAck() {
+	panic("no")
+	ack()
+}
+
+func labeledBreak() {
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	ack()
+}
+
+func switchNoDefault(k int) {
+	switch k {
+	case 1:
+		journal()
+	}
+	ack()
+}
+
+func switchDefault(k int) {
+	switch k {
+	case 1:
+		journal()
+	default:
+		journal()
+	}
+	ack()
+}
+
+func rebind(p int) int {
+	x := get()
+	put(x)
+	x = fresh()
+	return x + p
+}
+`
+
+func TestReachesWithoutDominated(t *testing.T) {
+	_, f, _ := typecheckSrc(t, cfgFixture)
+	g := NewCFG(findFunc(t, f, "dominated").Body)
+	if got := g.ReachesWithout(isReturn, isCallTo("journal")); len(got) != 0 {
+		t.Fatalf("dominated: %d returns escape the journal barrier, want 0", len(got))
+	}
+}
+
+func TestReachesWithoutExposed(t *testing.T) {
+	_, f, _ := typecheckSrc(t, cfgFixture)
+	g := NewCFG(findFunc(t, f, "exposed").Body)
+	got := g.ReachesWithout(isReturn, isCallTo("journal"))
+	if len(got) != 1 {
+		t.Fatalf("exposed: %d unprotected returns, want exactly the else-path return", len(got))
+	}
+}
+
+func TestReachableFromLoopBackEdge(t *testing.T) {
+	_, f, _ := typecheckSrc(t, cfgFixture)
+	fd := findFunc(t, f, "loop")
+	g := NewCFG(fd.Body)
+	var useCall ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if isCallTo("use")(n) {
+			useCall = n
+		}
+		return true
+	})
+	// Around the back edge, use() can reach itself; past the loop, ack().
+	if got := g.ReachableFrom(useCall, isCallTo("use")); len(got) == 0 {
+		t.Fatalf("loop body cannot reach itself via the back edge")
+	}
+	if got := g.ReachableFrom(useCall, isCallTo("ack")); len(got) != 1 {
+		t.Fatalf("ack() after the loop not reachable from the body, got %d", len(got))
+	}
+}
+
+func TestDeferredCallRunsAtExit(t *testing.T) {
+	_, f, _ := typecheckSrc(t, cfgFixture)
+	fd := findFunc(t, f, "deferred")
+	g := NewCFG(fd.Body)
+	if len(g.Exit.Nodes) != 1 || !isCallTo("release")(g.Exit.Nodes[0]) {
+		t.Fatalf("deferred release() not parked in the Exit block: %v", g.Exit.Nodes)
+	}
+	var useCall ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if isCallTo("use")(n) {
+			useCall = n
+		}
+		return true
+	})
+	// The deferred release executes after use(): ordering queries must
+	// see it downstream, which is how a `defer pool.Put(x)` counts as a
+	// release on every path.
+	if got := g.ReachableFrom(useCall, isCallTo("release")); len(got) != 1 {
+		t.Fatalf("deferred release not reachable after use(), got %d", len(got))
+	}
+}
+
+func TestPanicCutsTheEdge(t *testing.T) {
+	_, f, _ := typecheckSrc(t, cfgFixture)
+
+	// ack() after a conditional panic is reachable (the ok path).
+	g := NewCFG(findFunc(t, f, "deadAfterPanic").Body)
+	if got := g.ReachesWithout(isCallTo("ack"), func(ast.Node) bool { return false }); len(got) != 1 {
+		t.Fatalf("ack after conditional panic: got %d reachable, want 1", len(got))
+	}
+
+	// ack() directly after an unconditional panic is dead.
+	g = NewCFG(findFunc(t, f, "unreachableAck").Body)
+	if got := g.ReachesWithout(isCallTo("ack"), func(ast.Node) bool { return false }); len(got) != 0 {
+		t.Fatalf("ack after unconditional panic: got %d reachable, want 0", len(got))
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	_, f, _ := typecheckSrc(t, cfgFixture)
+	g := NewCFG(findFunc(t, f, "labeledBreak").Body)
+	if got := g.ReachesWithout(isCallTo("ack"), func(ast.Node) bool { return false }); len(got) != 1 {
+		t.Fatalf("break outer: ack() after the labeled loop unreachable, got %d", len(got))
+	}
+}
+
+func TestSwitchFallPast(t *testing.T) {
+	_, f, _ := typecheckSrc(t, cfgFixture)
+
+	// Without a default clause control may fall past every case, so the
+	// trailing ack() is reachable un-journaled.
+	g := NewCFG(findFunc(t, f, "switchNoDefault").Body)
+	if got := g.ReachesWithout(isCallTo("ack"), isCallTo("journal")); len(got) != 1 {
+		t.Fatalf("switch without default: want 1 exposed ack, got %d", len(got))
+	}
+
+	// With a default every path journals first.
+	g = NewCFG(findFunc(t, f, "switchDefault").Body)
+	if got := g.ReachesWithout(isCallTo("ack"), isCallTo("journal")); len(got) != 0 {
+		t.Fatalf("switch with default: want 0 exposed acks, got %d", len(got))
+	}
+}
+
+func TestReachingDefsRebind(t *testing.T) {
+	_, f, info := typecheckSrc(t, cfgFixture)
+	fd := findFunc(t, f, "rebind")
+	g := NewCFG(fd.Body)
+	rd := NewReachingDefs(g, info, fd.Recv, fd.Type)
+
+	// Collect the interesting idents: x inside put(x), x in the return.
+	var putArg, retUse *ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "put" {
+				putArg = n.Args[0].(*ast.Ident)
+			}
+		case *ast.ReturnStmt:
+			if bin, ok := n.Results[0].(*ast.BinaryExpr); ok {
+				retUse = bin.X.(*ast.Ident)
+			}
+		}
+		return true
+	})
+	if putArg == nil || retUse == nil {
+		t.Fatalf("fixture idents not found")
+	}
+
+	atPut := rd.DefsReaching(putArg)
+	if len(atPut) != 1 {
+		t.Fatalf("defs reaching put(x): got %d, want the := only", len(atPut))
+	}
+	if _, ok := atPut[0].(*ast.AssignStmt); !ok {
+		t.Fatalf("def at put(x) is %T, want *ast.AssignStmt", atPut[0])
+	}
+
+	// After x = fresh(), the := no longer reaches: exactly one def, and
+	// it must be the second assignment (x = fresh()), which is how a
+	// rebound variable sheds use-after-release taint.
+	atRet := rd.DefsReaching(retUse)
+	if len(atRet) != 1 {
+		t.Fatalf("defs reaching return: got %d, want the rebind only", len(atRet))
+	}
+	as, ok := atRet[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN {
+		t.Fatalf("def at return is %T (%v), want the plain = rebind", atRet[0], as.Tok)
+	}
+}
+
+func TestReachingDefsParamAtEntry(t *testing.T) {
+	_, f, info := typecheckSrc(t, cfgFixture)
+	fd := findFunc(t, f, "rebind")
+	g := NewCFG(fd.Body)
+	rd := NewReachingDefs(g, info, fd.Recv, fd.Type)
+
+	var pUse *ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "p" {
+			pUse = id
+		}
+		return true
+	})
+	defs := rd.DefsReaching(pUse)
+	if len(defs) != 1 {
+		t.Fatalf("defs reaching p: got %d, want the parameter itself", len(defs))
+	}
+	if id, ok := defs[0].(*ast.Ident); !ok || id.Name != "p" {
+		t.Fatalf("def of p is %v, want the declaring parameter ident", defs[0])
+	}
+}
+
+const summaryFixture = `package t
+
+type buf struct{ b []byte }
+
+func commit() {}
+
+func direct()   { commit() }
+func oneHop()   { direct() }
+func twoHops()  { oneHop() }
+
+func release(b *buf) { _ = b }
+func wrapper(x *buf) { release(x) }
+func far(y *buf)     { wrapper(y) }
+`
+
+func TestFuncFactOneHop(t *testing.T) {
+	fset, f, info := typecheckSrc(t, summaryFixture)
+	_ = fset
+	pass := &Pass{Files: []*ast.File{f}, TypesInfo: info}
+	ix := NewDeclIndex(pass)
+
+	facts := ix.FuncFact(info, func(fd *ast.FuncDecl) bool {
+		return fd.Body != nil && containsMatch(fd.Body, isCallTo("commit"))
+	})
+
+	byName := map[string]bool{}
+	for fn, ok := range facts {
+		byName[fn.Name()] = ok
+	}
+	if !byName["direct"] {
+		t.Fatalf("direct() should hold the fact directly")
+	}
+	if !byName["oneHop"] {
+		t.Fatalf("oneHop() should gain the fact across one call edge")
+	}
+	if byName["twoHops"] {
+		t.Fatalf("twoHops() must NOT gain the fact: propagation is one hop only")
+	}
+}
+
+func TestParamFactOneHop(t *testing.T) {
+	_, f, info := typecheckSrc(t, summaryFixture)
+	pass := &Pass{Files: []*ast.File{f}, TypesInfo: info}
+	ix := NewDeclIndex(pass)
+
+	facts := ix.ParamFact(info, func(fd *ast.FuncDecl) []int {
+		if fd.Name.Name == "release" {
+			return []int{0}
+		}
+		return nil
+	})
+
+	byName := map[string]map[int]bool{}
+	for fn, pos := range facts {
+		byName[fn.Name()] = pos
+	}
+	if !byName["release"][0] {
+		t.Fatalf("release holds the direct param fact on position 0")
+	}
+	if !byName["wrapper"][0] {
+		t.Fatalf("wrapper forwards its param to release and should gain position 0")
+	}
+	if byName["far"][0] {
+		t.Fatalf("far is two hops from release and must not gain the fact")
+	}
+}

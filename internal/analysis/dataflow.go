@@ -1,0 +1,408 @@
+package analysis
+
+// Dataflow queries over a CFG. Three primitives cover what the project
+// analyzers need:
+//
+//   - ReachesWithout: "is an ack reachable before the journal write?"
+//     (walorder's dominance question, inverted into reachability)
+//   - ReachableFrom: "what can still execute after this Put?"
+//     (poolescape's use-after-release, atomiczone's second load)
+//   - ReachingDefs: "which assignments produce the value at this use?"
+//     (kills stale taint when a variable is rebound after release)
+//
+// All matching skips function-literal subtrees: a FuncLit inside an
+// expression is a value, not control flow of the enclosing function,
+// and its body gets its own CFG.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectSkipFuncLit walks n's subtree in evaluation-ish (syntactic)
+// order, skipping nested function literals, calling f on every node.
+// f returning false prunes that subtree.
+func inspectSkipFuncLit(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// containsMatch reports whether pred holds for n or any non-FuncLit
+// descendant.
+func containsMatch(n ast.Node, pred func(ast.Node) bool) bool {
+	found := false
+	inspectSkipFuncLit(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if pred(m) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// collectMatches returns every node in n's subtree (FuncLits excluded)
+// for which pred holds.
+func collectMatches(n ast.Node, pred func(ast.Node) bool) []ast.Node {
+	var out []ast.Node
+	inspectSkipFuncLit(n, func(m ast.Node) bool {
+		if pred(m) {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// ReachesWithout returns the nodes matching isTarget that some
+// execution path reaches from the function entry before any node
+// matching isBarrier has executed. An empty result means every target
+// is dominated by a barrier — the shape of "every ack is preceded by a
+// journal write".
+//
+// Within a single CFG node, a barrier protects targets in the same
+// node: sub-expressions evaluate before the statement containing them
+// completes, so `return w.Append(p)` is journaled-then-returned, not
+// the reverse.
+func (g *CFG) ReachesWithout(isTarget, isBarrier func(ast.Node) bool) []ast.Node {
+	var exposed []ast.Node
+	seen := make([]bool, len(g.Blocks))
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if b == nil || seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, n := range b.Nodes {
+			if containsMatch(n, isBarrier) {
+				// The rest of this path is protected.
+				return
+			}
+			exposed = append(exposed, collectMatches(n, isTarget)...)
+		}
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	return exposed
+}
+
+// ReachableFrom returns the nodes matching isTarget that can execute
+// strictly after start on some path. start may be any node of the CFG
+// or a descendant of one (e.g. a CallExpr inside an ExprStmt). If
+// start's block is part of a loop, nodes before start in its own block
+// are reachable too (via the back edge) and are included.
+func (g *CFG) ReachableFrom(start ast.Node, isTarget func(ast.Node) bool) []ast.Node {
+	startBlock, startIdx := g.find(start)
+	if startBlock == nil {
+		return nil
+	}
+	var out []ast.Node
+	// Later nodes in start's own block.
+	for _, n := range startBlock.Nodes[startIdx+1:] {
+		out = append(out, collectMatches(n, isTarget)...)
+	}
+	// Everything in blocks reachable from start's block. If the walk
+	// re-enters startBlock (a loop), its full node list counts.
+	seen := make([]bool, len(g.Blocks))
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if b == nil || seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, n := range b.Nodes {
+			out = append(out, collectMatches(n, isTarget)...)
+		}
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	for _, s := range startBlock.Succs {
+		visit(s)
+	}
+	return out
+}
+
+// LeaksToExit reports whether the Exit block can be reached from start
+// with no node matching isBarrier executing on the way. Deferred calls
+// live in the Exit block itself, so a `defer pool.Put(x)` barrier
+// protects every path. This is poolescape's leak question: can the
+// function end while still owing the pool its value?
+func (g *CFG) LeaksToExit(start ast.Node, isBarrier func(ast.Node) bool) bool {
+	startBlock, startIdx := g.find(start)
+	if startBlock == nil {
+		return false
+	}
+	for _, n := range startBlock.Nodes[startIdx+1:] {
+		if containsMatch(n, isBarrier) {
+			return false
+		}
+	}
+	if startBlock == g.Exit {
+		return true
+	}
+	leaked := false
+	seen := make([]bool, len(g.Blocks))
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if leaked || b == nil || seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, n := range b.Nodes {
+			if containsMatch(n, isBarrier) {
+				return
+			}
+		}
+		if b == g.Exit {
+			leaked = true
+			return
+		}
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	for _, s := range startBlock.Succs {
+		visit(s)
+	}
+	return leaked
+}
+
+// find locates the block node whose subtree contains target, returning
+// the block and the node's index within it. Exact node matches win over
+// subtree containment: a deferred call appears both inside its
+// DeferStmt (argument evaluation, home block) and as its own node in
+// the Exit block (execution), and queries that start AT the call must
+// anchor where it runs, not where it was scheduled.
+func (g *CFG) find(target ast.Node) (*Block, int) {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == target {
+				return b, i
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if containsMatch(n, func(m ast.Node) bool { return m == target }) {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// ReachingDefs is a classic forward may-analysis: for every variable,
+// which definition sites can produce the value observed at a given use.
+// Definitions are assignments, short declarations, var declarations,
+// ++/--, range bindings, type-switch bindings, and (at function entry)
+// the parameters and named results themselves.
+type ReachingDefs struct {
+	cfg  *CFG
+	info *types.Info
+
+	// in[b] holds the definitions live on entry to block b.
+	in []defSet
+
+	// home maps each block-node index to quick lookup during queries.
+	nodeBlock map[ast.Node]*Block
+	nodeIndex map[ast.Node]int
+}
+
+// defSet maps a variable to the set of nodes that may define it.
+type defSet map[types.Object]map[ast.Node]bool
+
+func (s defSet) clone() defSet {
+	c := make(defSet, len(s))
+	for obj, defs := range s {
+		d := make(map[ast.Node]bool, len(defs))
+		for n := range defs {
+			d[n] = true
+		}
+		c[obj] = d
+	}
+	return c
+}
+
+// mergeInto unions src into dst, reporting whether dst changed.
+func (dst defSet) mergeInto(src defSet) bool {
+	changed := false
+	for obj, defs := range src {
+		d := dst[obj]
+		if d == nil {
+			d = map[ast.Node]bool{}
+			dst[obj] = d
+		}
+		for n := range defs {
+			if !d[n] {
+				d[n] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// NewReachingDefs solves reaching definitions over cfg. decl supplies
+// the parameter/receiver/result lists whose names count as definitions
+// live at entry; it may be nil for a function literal analyzed without
+// its header (the literal's own params can be passed via fields).
+func NewReachingDefs(cfg *CFG, info *types.Info, recv *ast.FieldList, fnType *ast.FuncType) *ReachingDefs {
+	rd := &ReachingDefs{
+		cfg:       cfg,
+		info:      info,
+		in:        make([]defSet, len(cfg.Blocks)),
+		nodeBlock: map[ast.Node]*Block{},
+		nodeIndex: map[ast.Node]int{},
+	}
+	for _, b := range cfg.Blocks {
+		rd.in[b.Index] = defSet{}
+		for i, n := range b.Nodes {
+			rd.nodeBlock[n] = b
+			rd.nodeIndex[n] = i
+		}
+	}
+
+	// Entry facts: every parameter, receiver and named result is
+	// defined by its own declaring ident.
+	entry := rd.in[cfg.Entry.Index]
+	bindFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					entry[obj] = map[ast.Node]bool{name: true}
+				}
+			}
+		}
+	}
+	bindFields(recv)
+	if fnType != nil {
+		bindFields(fnType.Params)
+		bindFields(fnType.Results)
+	}
+
+	// Worklist to fixpoint. Block transfer: apply each node's defs in
+	// order (a def of x replaces x's whole set — within one block the
+	// latest definition wins).
+	work := make([]*Block, len(cfg.Blocks))
+	copy(work, cfg.Blocks)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := rd.in[b.Index].clone()
+		for _, n := range b.Nodes {
+			for obj, def := range nodeDefs(info, n) {
+				out[obj] = map[ast.Node]bool{def: true}
+			}
+		}
+		for _, s := range b.Succs {
+			if rd.in[s.Index].mergeInto(out) {
+				work = append(work, s)
+			}
+		}
+	}
+	return rd
+}
+
+// nodeDefs returns the variables a single CFG node defines, mapped to
+// the defining node itself.
+func nodeDefs(info *types.Info, n ast.Node) map[types.Object]ast.Node {
+	defs := map[types.Object]ast.Node{}
+	record := func(id *ast.Ident) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if _, ok := obj.(*types.Var); ok {
+			defs[obj] = n
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				record(id)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			record(id)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						record(name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := ast.Unparen(n.Key).(*ast.Ident); n.Key != nil && ok {
+			record(id)
+		}
+		if id, ok := ast.Unparen(n.Value).(*ast.Ident); n.Value != nil && ok {
+			record(id)
+		}
+	}
+	return defs
+}
+
+// DefsReaching returns the definition nodes that may produce the value
+// of use, an identifier occurring somewhere in the CFG. A nil result
+// means the use was not found or the variable is not tracked (not a
+// local var, or defined outside this function).
+func (rd *ReachingDefs) DefsReaching(use *ast.Ident) []ast.Node {
+	obj := rd.info.Uses[use]
+	if obj == nil {
+		obj = rd.info.Defs[use]
+	}
+	if obj == nil {
+		return nil
+	}
+	// Locate the block node containing the use.
+	var home ast.Node
+	for n := range rd.nodeBlock {
+		if n == use || containsMatch(n, func(m ast.Node) bool { return m == use }) {
+			home = n
+			break
+		}
+	}
+	if home == nil {
+		return nil
+	}
+	b := rd.nodeBlock[home]
+	live := rd.in[b.Index].clone()
+	// Apply defs of nodes strictly before the use's node: the node
+	// containing the use evaluates its RHS against prior definitions
+	// (`x = f(x)` reads the old x).
+	for _, n := range b.Nodes[:rd.nodeIndex[home]] {
+		for o, def := range nodeDefs(rd.info, n) {
+			live[o] = map[ast.Node]bool{def: true}
+		}
+	}
+	var out []ast.Node
+	for n := range live[obj] {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package analysis
+
+// The call-summary layer: facts about functions propagate exactly one
+// hop across calls within a package. One hop is a deliberate ceiling —
+// it covers the real shapes in this repository (a handler calling a
+// snapshot() helper that loads the registry pointer, writeBuf releasing
+// a buffer writeJSON acquired) without growing into a whole-program
+// analysis whose fixpoints would be hard to explain in a diagnostic.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A DeclIndex maps every function and method declared in the package
+// under analysis to its syntax, keyed by the types object, so analyzers
+// can look across a call edge.
+type DeclIndex map[*types.Func]*ast.FuncDecl
+
+// NewDeclIndex builds the index for a pass's package.
+func NewDeclIndex(pass *Pass) DeclIndex {
+	ix := DeclIndex{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				ix[fn] = fd
+			}
+		}
+	}
+	return ix
+}
+
+// CalleeFunc resolves a call expression to the declared function or
+// method it invokes (nil for builtins, function values, interface
+// methods without a static callee, and conversions).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// FuncFact computes a boolean fact for every indexed function: direct
+// establishes the fact from a body alone; a function that lacks it
+// gains the fact if its body calls (one hop, FuncLits excluded) an
+// indexed function that holds it directly. Derived facts do not chain —
+// a caller of a caller of a direct function is out of range by design.
+func (ix DeclIndex) FuncFact(info *types.Info, direct func(*ast.FuncDecl) bool) map[*types.Func]bool {
+	facts := map[*types.Func]bool{}
+	for fn, decl := range ix {
+		if direct(decl) {
+			facts[fn] = true
+		}
+	}
+	for fn, decl := range ix {
+		if facts[fn] || decl.Body == nil {
+			continue
+		}
+		inspectSkipFuncLit(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := CalleeFunc(info, call); callee != nil {
+				if d, indexed := ix[callee]; indexed && direct(d) {
+					facts[fn] = true
+				}
+			}
+			return true
+		})
+	}
+	return facts
+}
+
+// ParamFact computes, for every indexed function, the set of parameter
+// positions for which a fact holds — e.g. "releases its i-th parameter
+// back to a pool". direct derives positions from a body alone; the one
+// propagation hop then marks position j of a caller that forwards its
+// j-th parameter as a direct-fact position of an indexed callee.
+func (ix DeclIndex) ParamFact(info *types.Info, direct func(*ast.FuncDecl) []int) map[*types.Func]map[int]bool {
+	directFacts := map[*types.Func]map[int]bool{}
+	for fn, decl := range ix {
+		for _, i := range direct(decl) {
+			if directFacts[fn] == nil {
+				directFacts[fn] = map[int]bool{}
+			}
+			directFacts[fn][i] = true
+		}
+	}
+
+	facts := map[*types.Func]map[int]bool{}
+	for fn, positions := range directFacts {
+		facts[fn] = map[int]bool{}
+		for i := range positions {
+			facts[fn][i] = true
+		}
+	}
+	for fn, decl := range ix {
+		if decl.Body == nil {
+			continue
+		}
+		params := paramObjects(info, decl)
+		if len(params) == 0 {
+			continue
+		}
+		inspectSkipFuncLit(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := CalleeFunc(info, call)
+			if callee == nil || len(directFacts[callee]) == 0 {
+				return true
+			}
+			for i := range directFacts[callee] {
+				if i >= len(call.Args) {
+					continue
+				}
+				id, ok := ast.Unparen(call.Args[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Uses[id]
+				for j, p := range params {
+					if obj == p {
+						if facts[fn] == nil {
+							facts[fn] = map[int]bool{}
+						}
+						facts[fn][j] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return facts
+}
+
+// paramObjects returns the declared parameter objects of fd in order.
+func paramObjects(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			out = append(out, info.Defs[name])
+		}
+	}
+	return out
+}

@@ -30,11 +30,15 @@ import (
 // All returns the full profitlint suite in deterministic order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		Atomiczone,
 		Detguard,
 		Droppederr,
 		Floatcmp,
 		Hotpath,
+		Leakcheck,
+		Poolescape,
 		Rankorder,
+		Walorder,
 	}
 }
 
@@ -77,4 +81,42 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 // isErrorType reports whether t is exactly the built-in error interface.
 func isErrorType(t types.Type) bool {
 	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// hasDirective reports whether a doc comment contains the given marker
+// as a whole comment line (like a build tag or go:generate directive,
+// never a substring of prose). The //hot:path, //wal:ack and
+// //wal:journal contracts all use this placement.
+func hasDirective(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachFuncDecl visits every function declaration with a body in the
+// pass's non-test files — the iteration scaffold the per-function
+// analyzers (hotpath and the CFG-based checks) share.
+func forEachFuncDecl(pass *analysis.Pass, visit func(fd *ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd)
+			}
+		}
+	}
+}
+
+// fullName names a callee the way //lint doc strings and the stdlib
+// matchers do: "(*sync.Pool).Get", "(*os.File).Sync".
+func fullNameIs(fn *types.Func, name string) bool {
+	return fn != nil && fn.FullName() == name
 }

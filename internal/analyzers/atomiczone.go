@@ -1,0 +1,227 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"profitmining/internal/analysis"
+)
+
+// Atomiczone enforces the registry's snapshot discipline in
+// request-scoped code. The whole point of the atomic.Pointer[Snapshot]
+// swap is that one Load hands a request an immutable (catalog,
+// recommender) pair; a second Load mid-request can observe a different
+// model version, silently re-introducing the torn-pair hazard the
+// registry was built to eliminate, and a snapshot stashed in a field or
+// global outlives the request and pins a retired model in memory.
+//
+// In scope: calls to an `Active()` method defined in another package
+// (the registry accessor), `Load()` on an atomic.Pointer reached
+// through a value rooted in another package, and — one call hop —
+// same-package helpers that perform such a load (serve's `snapshot()`).
+// The registry's own internals are exempt: staging, promotion and
+// shadow scoring legitimately re-read the pointer under their own
+// locking protocol, and so are same-package atomics like serve's
+// response-cache pointer.
+//
+// Two diagnostics: a second in-scope load reachable after a first on
+// some path (including a load inside a loop), and a loaded snapshot
+// stored into a field, global or composite literal.
+var Atomiczone = &analysis.Analyzer{
+	Name: "atomiczone",
+	Doc:  "flags request-scoped code that loads an atomic model snapshot more than once or stores it past the request",
+	Run:  runAtomiczone,
+}
+
+func runAtomiczone(pass *analysis.Pass) error {
+	ix := analysis.NewDeclIndex(pass)
+	info := pass.TypesInfo
+
+	// One-hop loader fact: a same-package helper whose body performs an
+	// in-scope load counts as a load at its call sites.
+	loaders := ix.FuncFact(info, func(fd *ast.FuncDecl) bool {
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isForeignSnapshotLoad(pass, call) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	})
+
+	isLoadEvent := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if isForeignSnapshotLoad(pass, call) {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		return callee != nil && loaders[callee]
+	}
+
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		cfg := analysis.NewCFG(fd.Body)
+		events := collectNodes(fd.Body, isLoadEvent)
+		if len(events) == 0 {
+			return
+		}
+
+		// (1) a second load reachable after a first on some path.
+		flagged := map[ast.Node]bool{}
+		for _, first := range events {
+			for _, later := range cfg.ReachableFrom(first, isLoadEvent) {
+				if flagged[later] {
+					continue
+				}
+				flagged[later] = true
+				if later == first {
+					pass.Reportf(later.(*ast.CallExpr).Pos(), "atomiczone: snapshot loaded inside a loop in %s; load once before the loop so the request sees one model version", fd.Name.Name)
+				} else {
+					pass.Reportf(later.(*ast.CallExpr).Pos(), "atomiczone: second snapshot load in %s; a request must take one snapshot and use it throughout", fd.Name.Name)
+				}
+			}
+		}
+
+		// (2) a loaded snapshot stored past the request: taint locals
+		// bound to a load, then flag stores of them (or of a load
+		// expression directly) into fields, globals or composite
+		// literals.
+		tainted := map[types.Object]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) || !containsLoadEvent(rhs, isLoadEvent) {
+					continue
+				}
+				if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+					if obj := objectOf(info, id); obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		isSnapshotRef := func(e ast.Expr) bool {
+			if containsLoadEvent(e, isLoadEvent) {
+				return true
+			}
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			return ok && tainted[objectOf(info, id)]
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) || !isSnapshotRef(rhs) {
+						continue
+					}
+					switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr:
+						pass.Reportf(rhs.Pos(), "atomiczone: snapshot stored past the request scope in %s; snapshots are request-local, re-load on the next request", fd.Name.Name)
+					case *ast.Ident:
+						if v, ok := objectOf(info, lhs).(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+							pass.Reportf(rhs.Pos(), "atomiczone: snapshot stored into package-level variable %s pins a retired model in memory", lhs.Name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// containsLoadEvent reports whether an in-scope load occurs anywhere in
+// e's subtree (e.g. `snap := s.snapshot()`).
+func containsLoadEvent(e ast.Expr, isLoadEvent func(ast.Node) bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n != nil && isLoadEvent(n) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isForeignSnapshotLoad reports whether call is an in-scope snapshot
+// load: an Active() accessor from another package, or atomic.Pointer
+// Load() reached through a receiver chain rooted in another package.
+func isForeignSnapshotLoad(pass *analysis.Pass, call *ast.CallExpr) bool {
+	callee := calleeFunc(pass.TypesInfo, call)
+	if callee == nil || len(call.Args) != 0 {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	switch callee.Name() {
+	case "Active":
+		// The accessor must hand back a pointer and be defined outside
+		// the package under analysis (the registry analyzing itself may
+		// re-read freely under its own locking).
+		if _, isPtr := sig.Results().At(0).Type().Underlying().(*types.Pointer); !isPtr {
+			return false
+		}
+		return callee.Pkg() != nil && callee.Pkg() != pass.Pkg
+	case "Load":
+		// atomic.Pointer[T].Load through a foreign-rooted chain. Only
+		// the Pointer flavour is snapshot-shaped: Int64/Uint64/Bool
+		// loads are counters and flags, safe to read as often as you
+		// like.
+		if callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+			return false
+		}
+		recvT := sig.Recv().Type()
+		if p, ok := recvT.(*types.Pointer); ok {
+			recvT = p.Elem()
+		}
+		recvNamed, ok := recvT.(*types.Named)
+		if !ok || recvNamed.Obj().Name() != "Pointer" {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		root := chainRoot(sel)
+		if root == nil {
+			return false
+		}
+		t := pass.TypesInfo.TypeOf(root)
+		for {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+				continue
+			}
+			break
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		pkg := named.Obj().Pkg()
+		return pkg != nil && pkg != pass.Pkg
+	}
+	return false
+}
+
+// chainRoot walks a selector chain (s.reg.active) to its base
+// expression.
+func chainRoot(sel *ast.SelectorExpr) ast.Expr {
+	x := ast.Unparen(sel.X)
+	for {
+		if s, ok := x.(*ast.SelectorExpr); ok {
+			x = ast.Unparen(s.X)
+			continue
+		}
+		return x
+	}
+}

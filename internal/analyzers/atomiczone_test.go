@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"profitmining/internal/analysis/analysistest"
+	"profitmining/internal/analyzers"
+)
+
+// atomiczonefix imports the sibling regfix fixture package so the
+// Active() accessor is genuinely foreign — the scoping rule that keeps
+// the registry's own internals exempt.
+func TestAtomiczone(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Atomiczone, "atomiczonefix")
+}

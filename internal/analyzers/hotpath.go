@@ -3,7 +3,6 @@ package analyzers
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"profitmining/internal/analysis"
 )
@@ -34,37 +33,16 @@ var Hotpath = &analysis.Analyzer{
 }
 
 func runHotpath(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		if isTestFile(pass, f.Pos()) {
-			continue
+	forEachFuncDecl(pass, func(fn *ast.FuncDecl) {
+		if !hasDirective(fn.Doc, "//hot:path") {
+			return
 		}
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !isHotPath(fn.Doc) {
-				continue
-			}
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				checkHotAlloc(pass, fn.Name.Name, n)
-				return true
-			})
-		}
-	}
-	return nil
-}
-
-// isHotPath reports whether a doc comment contains a `//hot:path` line.
-// The marker must be the whole comment line (like a build tag or a
-// go:generate directive), not a substring of prose.
-func isHotPath(doc *ast.CommentGroup) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if strings.TrimSpace(c.Text) == "//hot:path" {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			checkHotAlloc(pass, fn.Name.Name, n)
 			return true
-		}
-	}
-	return false
+		})
+	})
+	return nil
 }
 
 func checkHotAlloc(pass *analysis.Pass, fn string, n ast.Node) {

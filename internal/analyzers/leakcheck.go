@@ -1,0 +1,254 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"profitmining/internal/analysis"
+)
+
+// Leakcheck polices the two quiet ways this codebase can lose track of
+// concurrency:
+//
+//   - A goroutine launched with no join or cancellation protocol. The
+//     evidence accepted: the goroutine's body (or, one call hop, the
+//     same-package function it runs) performs channel operations, a
+//     select, or a WaitGroup Done/Wait; or the launch passes it a
+//     channel, a context.Context, or a *sync.WaitGroup to coordinate
+//     through. A goroutine with none of these outlives its request,
+//     keeps its captures alive, and turns graceful drain into a lie.
+//     Deliberate fire-and-forget hooks say so with //lint:allow.
+//
+//   - A sync primitive copied by value: value receivers or parameters
+//     of types transitively containing sync.Mutex/WaitGroup/Once/
+//     atomic.* state, plain `a := b` copies of such values, and range
+//     clauses that copy them per iteration. The copy guards nothing —
+//     both halves unlock independently. (go vet's copylocks runs
+//     alongside in CI; this check keeps the invariant enforced in
+//     fixture tests and on types vet's heuristics miss.)
+var Leakcheck = &analysis.Analyzer{
+	Name: "leakcheck",
+	Doc:  "flags goroutines with no join or cancellation path and sync primitives copied by value",
+	Run:  runLeakcheck,
+}
+
+func runLeakcheck(pass *analysis.Pass) error {
+	ix := analysis.NewDeclIndex(pass)
+	info := pass.TypesInfo
+
+	// One-hop join fact: `go c.worker()` is joined if worker's own body
+	// coordinates.
+	joinable := ix.FuncFact(info, func(fd *ast.FuncDecl) bool {
+		return hasJoinEvidence(info, fd.Body)
+	})
+
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGoStmt(pass, joinable, n)
+			case *ast.AssignStmt:
+				checkLockCopyAssign(pass, n)
+			case *ast.RangeStmt:
+				checkLockCopyRange(pass, n)
+			}
+			return true
+		})
+		checkLockCopySignature(pass, fd)
+	})
+	return nil
+}
+
+func checkGoStmt(pass *analysis.Pass, joinable map[*types.Func]bool, g *ast.GoStmt) {
+	info := pass.TypesInfo
+	call := g.Call
+
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if hasJoinEvidence(info, lit.Body) {
+			return
+		}
+	} else if callee := calleeFunc(info, call); callee != nil && joinable[callee] {
+		return
+	}
+
+	// A coordination handle passed in counts: the launched code can be
+	// cancelled or joined through it even if we can't see its body.
+	for _, arg := range call.Args {
+		if isCoordinationType(info.TypeOf(arg)) {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(), "leakcheck: goroutine launched with no join or cancellation path (no channel, WaitGroup, or context in sight); it will outlive its request and survive graceful drain")
+}
+
+// hasJoinEvidence scans a body (including nested literals — the
+// coordination may sit inside a select's case) for any coordination
+// primitive.
+func hasJoinEvidence(info *types.Info, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+						found = true
+					}
+				}
+			case *ast.SelectorExpr:
+				// wg.Done(), wg.Wait(), ctx.Done() — method name plus a
+				// sync/context receiver, not just the spelling.
+				if fun.Sel.Name == "Done" || fun.Sel.Name == "Wait" {
+					if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil {
+						switch fn.Pkg().Path() {
+						case "sync", "context":
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCoordinationType reports whether t can carry a join or cancel
+// signal: a channel, a context.Context, or a *sync.WaitGroup.
+func isCoordinationType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "context.Context", "sync.WaitGroup":
+		return true
+	}
+	return false
+}
+
+// --- mutex-by-value ---
+
+// copiesLockState reports whether t transitively contains sync or
+// sync/atomic state that must not be copied.
+func copiesLockState(t types.Type) bool {
+	return lockStateIn(t, map[types.Type]bool{})
+}
+
+func lockStateIn(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync", "sync/atomic":
+				// Every struct in these packages (Mutex, WaitGroup,
+				// Pool, atomic.Pointer, ...) owns state a copy splits.
+				if _, ok := named.Underlying().(*types.Struct); ok {
+					return true
+				}
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockStateIn(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockStateIn(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkLockCopySignature flags value receivers and value parameters of
+// lock-bearing types.
+func checkLockCopySignature(pass *analysis.Pass, fd *ast.FuncDecl) {
+	flagFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if _, isPtr := ast.Unparen(f.Type).(*ast.StarExpr); isPtr {
+				continue
+			}
+			if t := pass.TypesInfo.TypeOf(f.Type); copiesLockState(t) {
+				pass.Reportf(f.Type.Pos(), "leakcheck: %s of %s passes a lock-bearing value by copy; use a pointer", what, fd.Name.Name)
+			}
+		}
+	}
+	flagFields(fd.Recv, "value receiver")
+	if fd.Type.Params != nil {
+		flagFields(fd.Type.Params, "parameter")
+	}
+}
+
+// checkLockCopyAssign flags `a := b` where b is an existing
+// lock-bearing value (constructing one with a composite literal or
+// new() is fine — there is nothing to split yet).
+func checkLockCopyAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		// A copy into the blank identifier is discarded, not used.
+		if len(as.Lhs) == len(as.Rhs) {
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		switch ast.Unparen(rhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue
+		}
+		if t := pass.TypesInfo.TypeOf(rhs); copiesLockState(t) {
+			pass.Reportf(rhs.Pos(), "leakcheck: assignment copies a lock-bearing value; both copies will lock independently")
+		}
+	}
+}
+
+// checkLockCopyRange flags `for _, v := range xs` where v copies a
+// lock-bearing element each iteration.
+func checkLockCopyRange(pass *analysis.Pass, r *ast.RangeStmt) {
+	if r.Value == nil {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(r.Value); copiesLockState(t) {
+		pass.Reportf(r.Value.Pos(), "leakcheck: range clause copies a lock-bearing element per iteration; iterate by index instead")
+	}
+}

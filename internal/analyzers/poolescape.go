@@ -1,0 +1,433 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"profitmining/internal/analysis"
+)
+
+// Poolescape guards the zero-allocation serving hot path: a value
+// obtained from a sync.Pool (directly, or through a provider helper
+// like Recommender.getScratch) is on loan to exactly one call frame.
+// Three ways to break the loan, three diagnostics:
+//
+//   - use after release: the value is read after Pool.Put (or after a
+//     releaser helper like putScratch/writeBuf) on some path. The next
+//     Get may hand the same object to a concurrent request, so this is
+//     a data race that -race only catches under the right interleaving.
+//     Rebinding the variable after the release sheds the taint —
+//     reaching definitions, not spelling, decide.
+//   - escape: the pooled value itself (not data copied out of it) is
+//     stored into a field, global, element, channel or goroutine,
+//     giving it a lifetime the pool no longer controls.
+//   - leak: a path reaches the function exit with the value neither
+//     released nor returned, silently shrinking the pool until every
+//     request allocates again.
+//
+// Provider and releaser facts propagate one call hop inside the
+// package, which is how `sc := r.getScratch()` taints sc and
+// `r.putScratch(sc)` clears it without any annotation.
+var Poolescape = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc:  "flags sync.Pool values that escape their call frame, are used after Put, or leak without release",
+	Run:  runPoolescape,
+}
+
+func runPoolescape(pass *analysis.Pass) error {
+	ix := analysis.NewDeclIndex(pass)
+	info := pass.TypesInfo
+
+	// A provider returns a pooled value, transferring ownership to its
+	// caller: a call to one is an acquisition site.
+	providers := ix.FuncFact(info, func(fd *ast.FuncDecl) bool {
+		return returnsPoolValue(info, fd)
+	})
+	// A releaser Puts one of its parameters back: a call to one is a
+	// release of the argument at that position.
+	releasers := ix.ParamFact(info, func(fd *ast.FuncDecl) []int {
+		return putsParams(info, fd)
+	})
+
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		fn, _ := info.Defs[fd.Name].(*types.Func)
+		checkPoolFunc(pass, fd, providers[fn], providers, releasers)
+	})
+	return nil
+}
+
+// isPoolGet / isPoolPut match the sync.Pool primitives.
+func isPoolGet(info *types.Info, call *ast.CallExpr) bool {
+	return fullNameIs(calleeFunc(info, call), "(*sync.Pool).Get")
+}
+
+func isPoolPut(info *types.Info, call *ast.CallExpr) bool {
+	return fullNameIs(calleeFunc(info, call), "(*sync.Pool).Put")
+}
+
+// acquisitionExpr unwraps the forms an acquisition hides behind:
+// pool.Get().(*T), (pool.Get()), provider().
+func acquisitionCall(e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, _ := e.(*ast.CallExpr)
+	return call
+}
+
+// directAcquisitions maps each local variable bound to a fresh Pool.Get
+// result (no provider indirection) to its defining assignment.
+func directAcquisitions(info *types.Info, fd *ast.FuncDecl) map[types.Object]*ast.AssignStmt {
+	out := map[types.Object]*ast.AssignStmt{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call := acquisitionCall(as.Rhs[0])
+		if call == nil || !isPoolGet(info, call) {
+			return true
+		}
+		if obj := objectOf(info, id); obj != nil {
+			out[obj] = as
+		}
+		return true
+	})
+	return out
+}
+
+// returnsPoolValue reports whether fd hands a Pool.Get result to its
+// caller — the direct provider fact.
+func returnsPoolValue(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Body == nil || fd.Type.Results == nil {
+		return false
+	}
+	acqs := directAcquisitions(info, fd)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if call := acquisitionCall(res); call != nil && isPoolGet(info, call) {
+				found = true
+			}
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				if obj := objectOf(info, id); obj != nil && acqs[obj] != nil {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// putsParams returns the parameter positions fd releases back to a
+// pool — the direct releaser fact.
+func putsParams(info *types.Info, fd *ast.FuncDecl) []int {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return nil
+	}
+	params := map[types.Object]int{}
+	i := 0
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			if obj := info.Defs[name]; obj != nil {
+				params[obj] = i
+			}
+			i++
+		}
+	}
+	var out []int
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolPut(info, call) || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if pos, isParam := params[objectOf(info, id)]; isParam {
+				out = append(out, pos)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// objectOf resolves an identifier to its variable object.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func checkPoolFunc(pass *analysis.Pass, fd *ast.FuncDecl, isProvider bool,
+	providers map[*types.Func]bool, releasers map[*types.Func]map[int]bool) {
+
+	info := pass.TypesInfo
+
+	// Acquisitions: direct Pool.Get bindings plus provider calls.
+	acqs := directAcquisitions(info, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call := acquisitionCall(as.Rhs[0])
+		if call == nil {
+			return true
+		}
+		if callee := calleeFunc(info, call); callee != nil && providers[callee] {
+			if obj := objectOf(info, id); obj != nil {
+				acqs[obj] = as
+			}
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+
+	cfg := analysis.NewCFG(fd.Body)
+	rd := analysis.NewReachingDefs(cfg, info, fd.Recv, fd.Type)
+
+	// Idents on the left of an assignment define, not use.
+	lhsIdents := map[*ast.Ident]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					lhsIdents[id] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for obj, acq := range acqs {
+		name := obj.Name()
+
+		// isRelease matches a node that hands obj back to its pool:
+		// Pool.Put(obj) or a releaser call with obj in a released slot.
+		isRelease := func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			argIsObj := func(i int) bool {
+				if i >= len(call.Args) {
+					return false
+				}
+				id, ok := ast.Unparen(call.Args[i]).(*ast.Ident)
+				return ok && objectOf(info, id) == obj
+			}
+			if isPoolPut(info, call) {
+				return argIsObj(0)
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil {
+				return false
+			}
+			for i := range releasers[callee] {
+				if argIsObj(i) {
+					return true
+				}
+			}
+			return false
+		}
+
+		// Idents that belong to a release call's argument list are the
+		// release itself, not a use after it.
+		releaseArgIdents := map[ast.Node]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if isRelease(n) {
+				for _, a := range n.(*ast.CallExpr).Args {
+					if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+						releaseArgIdents[id] = true
+					}
+				}
+			}
+			return true
+		})
+
+		// stillTainted: the acquisition's definition reaches this use
+		// (a rebind after release starts a new, un-pooled lifetime).
+		stillTainted := func(id *ast.Ident) bool {
+			for _, def := range rd.DefsReaching(id) {
+				if def == ast.Node(acq) {
+					return true
+				}
+			}
+			return false
+		}
+
+		isUse := func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			return ok && objectOf(info, id) == obj && !lhsIdents[id] && !releaseArgIdents[id]
+		}
+
+		// (a) use after release.
+		releases := collectNodes(fd.Body, isRelease)
+		for _, rel := range releases {
+			for _, u := range cfg.ReachableFrom(rel, isUse) {
+				id := u.(*ast.Ident)
+				if stillTainted(id) {
+					pass.Reportf(id.Pos(), "poolescape: %s used after being released to its pool; the next Get may hand this object to a concurrent caller", name)
+				}
+			}
+		}
+
+		// (b) escapes: the pooled object itself outliving the frame.
+		reportEscapes(pass, fd, obj, name, isProvider, stillTainted, info)
+
+		// (c) leak: an exit path with no release and no ownership
+		// transfer (return or escape store both transfer).
+		isOwnershipEnd := func(n ast.Node) bool {
+			if isRelease(n) {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if refersToObj(info, res, obj) {
+						return true
+					}
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if refersToObj(info, rhs, obj) {
+						return true
+					}
+				}
+			case *ast.GoStmt, *ast.SendStmt:
+				return containsObjRef(info, n, obj)
+			}
+			return false
+		}
+		if cfg.LeaksToExit(acq, isOwnershipEnd) {
+			pass.Reportf(acq.Pos(), "poolescape: %s may reach function exit without being released to its pool (missing Put on some path)", name)
+		}
+	}
+}
+
+// refersToObj reports whether e is the object itself: `x` or `&x`.
+func refersToObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && objectOf(info, id) == obj
+}
+
+// containsObjRef reports whether any ident in n's subtree denotes obj.
+func containsObjRef(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && objectOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// collectNodes gathers the nodes in body matching pred.
+func collectNodes(body *ast.BlockStmt, pred func(ast.Node) bool) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n != nil && pred(n) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// reportEscapes flags stores that give the pooled object a lifetime the
+// pool no longer controls. Copying data OUT of the object (sc.buf[0],
+// append(dst, sc.expanded...)) is the intended pattern and never flags:
+// only the object itself — `x` or `&x` — escaping counts.
+func reportEscapes(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object, name string,
+	isProvider bool, stillTainted func(*ast.Ident) bool, info *types.Info) {
+
+	taintedRef := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+			e = ast.Unparen(u.X)
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && objectOf(info, id) == obj && stillTainted(id)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !taintedRef(rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					pass.Reportf(rhs.Pos(), "poolescape: pooled %s stored into %s outlives the call frame; copy the data out instead", name, exprKind(lhs))
+				case *ast.Ident:
+					if v, ok := objectOf(info, lhs).(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(rhs.Pos(), "poolescape: pooled %s stored into package-level variable %s", name, lhs.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if taintedRef(n.Value) {
+				pass.Reportf(n.Value.Pos(), "poolescape: pooled %s sent on a channel escapes its call frame", name)
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if taintedRef(v) {
+					pass.Reportf(v.Pos(), "poolescape: pooled %s embedded in a composite literal ties it to another object's lifetime", name)
+				}
+			}
+		case *ast.GoStmt:
+			if containsObjRef(info, n, obj) {
+				pass.Reportf(n.Pos(), "poolescape: pooled %s captured by a goroutine outlives the request that borrowed it", name)
+			}
+		case *ast.ReturnStmt:
+			if isProvider {
+				return true
+			}
+			for _, res := range n.Results {
+				if taintedRef(res) {
+					pass.Reportf(res.Pos(), "poolescape: pooled %s returned to the caller without a release; either Put it or make this function a documented provider", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprKind names an escape destination for diagnostics.
+func exprKind(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.IndexExpr:
+		return "a slice or map element"
+	default:
+		return "a longer-lived location"
+	}
+}

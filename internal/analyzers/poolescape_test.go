@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"profitmining/internal/analysis/analysistest"
+	"profitmining/internal/analyzers"
+)
+
+// The poolescapefix fixture is deliberately split across two files:
+// the providers/releasers live in pool.go and every diagnostic in
+// poolescapefix.go depends on their facts crossing the file boundary
+// through the call-summary layer.
+func TestPoolescape(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Poolescape, "poolescapefix")
+}

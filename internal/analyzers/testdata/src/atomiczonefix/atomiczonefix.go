@@ -1,0 +1,64 @@
+package atomiczonefix
+
+import "regfix"
+
+type server struct {
+	reg    *regfix.Registry
+	cached *regfix.Snapshot
+}
+
+// snapshot performs the load, so calls to it count as loads one hop
+// away.
+func (s *server) snapshot() *regfix.Snapshot {
+	return s.reg.Active()
+}
+
+// ok: one snapshot per request, used throughout.
+func (s *server) handleOK() int {
+	snap := s.snapshot()
+	if snap == nil {
+		return 0
+	}
+	return snap.Version + snap.Version
+}
+
+// Two direct loads can observe two different model versions in one
+// request.
+func (s *server) handleDouble() int {
+	a := s.reg.Active()
+	b := s.reg.Active() // want `atomiczone: second snapshot load in handleDouble`
+	if a == nil || b == nil {
+		return 0
+	}
+	return b.Version - a.Version
+}
+
+// The second load hides behind the helper: the one-hop summary still
+// sees it.
+func (s *server) handleMixed() int {
+	snap := s.snapshot()
+	if snap == nil {
+		return 0
+	}
+	return snap.Version + s.reg.Active().Version // want `atomiczone: second snapshot load in handleMixed`
+}
+
+// A load inside a loop takes a fresh snapshot per iteration.
+func (s *server) handleLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += s.reg.Active().Version // want `atomiczone: snapshot loaded inside a loop in handleLoop`
+	}
+	return total
+}
+
+// Stashing a snapshot in a field pins a retired model past the request.
+func (s *server) remember() {
+	s.cached = s.reg.Active() // want `atomiczone: snapshot stored past the request scope in remember`
+}
+
+// Same hazard through a local variable.
+func (s *server) rememberVar() {
+	snap := s.snapshot()
+	s.cached = snap // want `atomiczone: snapshot stored past the request scope in rememberVar`
+}

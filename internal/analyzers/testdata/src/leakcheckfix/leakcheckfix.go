@@ -1,0 +1,106 @@
+package leakcheckfix
+
+import (
+	"context"
+	"sync"
+)
+
+// ok: every worker is joined through the WaitGroup.
+func fanOut(items []int) {
+	var wg sync.WaitGroup
+	results := make([]int, len(items))
+	for i, v := range items {
+		wg.Add(1)
+		go func(i, v int) {
+			defer wg.Done()
+			results[i] = v * v
+		}(i, v)
+	}
+	wg.Wait()
+}
+
+// ok: completion is signalled on the channel.
+func result() <-chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return ch
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// ok: the context passed at launch can cancel the goroutine.
+func watch(ctx context.Context) {
+	go run(ctx)
+}
+
+// ok one hop away: pump's own body ranges over a channel, so launching
+// it is joined even though this call site shows no evidence.
+func pump(ch chan int) {
+	for range ch {
+	}
+}
+
+func startPump(ch chan int) {
+	go pump(ch)
+}
+
+// A bare function value: no channel, no context, no WaitGroup — nothing
+// can stop or await it.
+func fire(hook func()) {
+	go hook() // want `leakcheck: goroutine launched with no join or cancellation path`
+}
+
+// A spinning goroutine nothing can reach.
+func daemon() {
+	go func() { // want `leakcheck: goroutine launched with no join or cancellation path`
+		for {
+		}
+	}()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// A value receiver locks a private copy of mu: the real counter is
+// never protected.
+func (c counter) get() int { // want `leakcheck: value receiver of get passes a lock-bearing value by copy`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Passing by value has the same split-brain effect.
+func drain(c counter) int { // want `leakcheck: parameter of drain passes a lock-bearing value by copy`
+	return c.n
+}
+
+// A dereferencing copy duplicates the mutex state at the moment of
+// copy.
+func split(c *counter) int {
+	d := *c // want `leakcheck: assignment copies a lock-bearing value`
+	return d.n
+}
+
+// Each iteration copies the element, mutex included.
+func sum(cs []counter) int {
+	t := 0
+	for _, c := range cs { // want `leakcheck: range clause copies a lock-bearing element per iteration`
+		t += c.n
+	}
+	return t
+}
+
+// ok: iterating by index never copies the element.
+func sumOK(cs []counter) int {
+	t := 0
+	for i := range cs {
+		t += cs[i].n
+	}
+	return t
+}

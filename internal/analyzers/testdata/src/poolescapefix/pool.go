@@ -1,0 +1,24 @@
+// The pool plumbing lives in its own file so the diagnostics in
+// poolescapefix.go prove the provider/releaser facts travel across
+// files through the package-level call-summary layer.
+package poolescapefix
+
+import "sync"
+
+type scratch struct {
+	buf []int
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// getScratch hands the caller a pooled value: the provider fact.
+func getScratch() *scratch {
+	sc := pool.Get().(*scratch)
+	sc.buf = sc.buf[:0]
+	return sc
+}
+
+// putScratch releases its argument: the releaser fact on position 0.
+func putScratch(sc *scratch) {
+	pool.Put(sc)
+}

@@ -1,0 +1,76 @@
+package poolescapefix
+
+var sink *scratch
+
+type holder struct {
+	sc *scratch
+}
+
+// ok: acquire through the cross-file provider, use, release on the only
+// path.
+func sumOK(n int) int {
+	sc := getScratch()
+	sc.buf = append(sc.buf, n, n)
+	total := 0
+	for _, v := range sc.buf {
+		total += v
+	}
+	putScratch(sc)
+	return total
+}
+
+// ok: a deferred release covers the early return and the fall-through
+// alike, and using the value after the defer LINE is fine — the release
+// runs at exit.
+func deferOK(n int) int {
+	sc := pool.Get().(*scratch)
+	defer putScratch(sc)
+	if n < 0 {
+		return 0
+	}
+	sc.buf = append(sc.buf, n)
+	return len(sc.buf)
+}
+
+// ok: rebinding after the release starts a fresh, un-pooled lifetime;
+// reaching definitions keep the old taint from bleeding onto it.
+func rebindOK() *scratch {
+	sc := getScratch()
+	putScratch(sc)
+	sc = &scratch{}
+	return sc
+}
+
+// A read after the cross-file releaser call races with the next Get.
+func useAfterPut() int {
+	sc := getScratch()
+	sc.buf = append(sc.buf, 1)
+	putScratch(sc)
+	return len(sc.buf) // want `poolescape: sc used after being released to its pool`
+}
+
+// Storing the pooled object in a global gives the pool no way to
+// reclaim it.
+func escapeGlobal() {
+	sc := getScratch()
+	sc.buf = append(sc.buf, 2)
+	sink = sc // want `poolescape: pooled sc stored into package-level variable sink`
+}
+
+// A field store ties the pooled object to another object's lifetime.
+func escapeField(h *holder) {
+	sc := getScratch()
+	h.sc = sc // want `poolescape: pooled sc stored into a struct field`
+}
+
+// The early return path skips the release: the pool shrinks by one
+// every time n is negative.
+func leaky(n int) int {
+	sc := getScratch() // want `poolescape: sc may reach function exit without being released`
+	if n < 0 {
+		return -1
+	}
+	sc.buf = append(sc.buf, n)
+	putScratch(sc)
+	return n
+}

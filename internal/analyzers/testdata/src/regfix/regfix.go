@@ -1,0 +1,21 @@
+// Package regfix is a miniature model registry imported by the
+// atomiczonefix fixture: the Active accessor is defined HERE so that,
+// from the importing package's point of view, it is a foreign snapshot
+// load and therefore in atomiczone's scope.
+package regfix
+
+import "sync/atomic"
+
+type Snapshot struct {
+	Version int
+}
+
+type Registry struct {
+	active atomic.Pointer[Snapshot]
+}
+
+// Active returns the serving snapshot.
+func (r *Registry) Active() *Snapshot { return r.active.Load() }
+
+// Store promotes a snapshot.
+func (r *Registry) Store(s *Snapshot) { r.active.Store(s) }

@@ -1,0 +1,97 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"profitmining/internal/analysis"
+)
+
+// Walorder checks the durability ordering the feedback loop's crash
+// repair depends on: a caller must never be told an outcome is recorded
+// before the record is journaled. Concretely, in a function annotated
+//
+//	//wal:ack
+//
+// every return statement whose final (error) result is the nil literal
+// is an acknowledgement, and the analyzer walks the control-flow graph
+// to prove a journaling call executes on every path leading to it. A
+// journaling call is a call to a function annotated //wal:journal, a
+// call to (*os.File).Sync, or — one call hop — a call to a same-package
+// function that itself makes such a call (Collector.append journals
+// because it calls WAL.Append).
+//
+// A path that acks without journaling is exactly the window in which a
+// crash loses an acknowledged outcome, corrupting realized-profit
+// accounting with no error anywhere. Intentional in-memory modes state
+// their case with //lint:allow walorder -- <why>.
+var Walorder = &analysis.Analyzer{
+	Name: "walorder",
+	Doc:  "flags paths in //wal:ack functions where a nil-error return is reachable before any //wal:journal write",
+	Run:  runWalorder,
+}
+
+func runWalorder(pass *analysis.Pass) error {
+	ix := analysis.NewDeclIndex(pass)
+	info := pass.TypesInfo
+
+	// Journal fact: annotated //wal:journal or fsyncs directly; the
+	// one-hop propagation covers helpers that wrap the journal call.
+	journals := ix.FuncFact(info, func(fd *ast.FuncDecl) bool {
+		if hasDirective(fd.Doc, "//wal:journal") {
+			return true
+		}
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isFsync(info, call) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	})
+
+	isBarrier := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if isFsync(info, call) {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		return callee != nil && journals[callee]
+	}
+
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		if !hasDirective(fd.Doc, "//wal:ack") {
+			return
+		}
+		cfg := analysis.NewCFG(fd.Body)
+		for _, n := range cfg.ReachesWithout(isNilAck(info), isBarrier) {
+			pass.Reportf(n.Pos(), "walorder: %s acknowledges success before any journal write on this path; a crash here loses an acked outcome", fd.Name.Name)
+		}
+	})
+	return nil
+}
+
+// isNilAck matches a return whose final result is the untyped nil —
+// the "recorded, no error" acknowledgement shape.
+func isNilAck(info *types.Info) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return false
+		}
+		id, ok := ast.Unparen(ret.Results[len(ret.Results)-1]).(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			return false
+		}
+		return info.Uses[id] == types.Universe.Lookup("nil")
+	}
+}
+
+// isFsync matches the physical durability primitive.
+func isFsync(info *types.Info, call *ast.CallExpr) bool {
+	return fullNameIs(calleeFunc(info, call), "(*os.File).Sync")
+}

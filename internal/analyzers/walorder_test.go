@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"profitmining/internal/analysis/analysistest"
+	"profitmining/internal/analyzers"
+)
+
+func TestWalorder(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Walorder, "walorderfix")
+}

@@ -193,6 +193,7 @@ func (c *Collector) observe(shortfall float64) {
 			c.det.trigger, c.det.cum-c.det.min, c.det.cfg.Lambda, c.det.mean)
 	}
 	if c.cfg.OnDrift != nil {
+		//lint:allow leakcheck -- fire-and-forget by documented contract: OnDrift runs off the Record path so a slow rebuild cannot block outcome ingestion, and the hook owner (profitserve's rebuild trigger) serializes and bounds its own work
 		go c.cfg.OnDrift()
 	}
 }
@@ -202,6 +203,8 @@ func (c *Collector) observe(shortfall float64) {
 // the WAL (fsynced per policy) before any in-memory state changes, so a
 // crash can lose at most un-applied appends — never applied-but-unlogged
 // state.
+//
+//wal:ack
 func (c *Collector) Record(o Outcome) (Receipt, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -251,14 +254,21 @@ func (c *Collector) Record(o Outcome) (Receipt, error) {
 // described a model that is no longer serving. Re-registering identical
 // content (e.g. the same model file reloaded at restart) is a no-op, so
 // restarts neither spam the log nor silence a standing alarm.
+//
+//wal:ack
 func (c *Collector) RegisterModel(version int, hash string, rules []RuleProjection) error {
 	key := projectionKey(rules)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if key == c.modelKey {
+		//lint:allow walorder -- no-op by design: identical content is already journaled, so there is nothing new to make durable before acking
 		return nil
 	}
-	for start := 0; start == 0 || start < len(rules); start += maxModelChunkRules {
+	// The loop body always runs at least once — an empty rule set still
+	// journals a single (empty, Last) model record — and the success
+	// return below is only reachable through it, so the promotion is in
+	// the WAL before RegisterModel acks.
+	for start := 0; ; {
 		end := min(start+maxModelChunkRules, len(rules))
 		rec := record{Kind: "model", Version: version, Hash: hash, Rules: rules[start:end]}
 		if end == len(rules) {
@@ -267,6 +277,10 @@ func (c *Collector) RegisterModel(version int, hash string, rules []RuleProjecti
 		if err := c.append(rec); err != nil {
 			return err
 		}
+		if end == len(rules) {
+			break
+		}
+		start = end
 	}
 	for _, p := range rules {
 		c.projections[p.ID] = p
@@ -282,8 +296,11 @@ func (c *Collector) RegisterModel(version int, hash string, rules []RuleProjecti
 
 // append marshals and journals one record (no-op in in-memory mode).
 // Callers hold c.mu.
+//
+//wal:ack
 func (c *Collector) append(rec record) error {
 	if c.wal == nil {
+		//lint:allow walorder -- in-memory mode (no WAL configured) has no durability contract; stats are explicitly process-lifetime only
 		return nil
 	}
 	payload, err := json.Marshal(rec)

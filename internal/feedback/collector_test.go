@@ -189,6 +189,39 @@ func TestRegisterModelChunksLargeModels(t *testing.T) {
 	}
 }
 
+// TestRegisterModelEmptyRules: a model with zero projections still
+// journals exactly one terminal chunk, so the registration is durable
+// and replay restores the (empty) rule table. The chunk loop's
+// degenerate iteration is the part under test.
+func TestRegisterModelEmptyRules(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	c, _, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterModel(1, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, rs, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if rs.Records != 1 {
+		t.Errorf("empty registration journaled %d records, want exactly 1 terminal chunk", rs.Records)
+	}
+	if st := c2.Stats(0); len(st.Rules) != 0 || st.Outcomes != 0 {
+		t.Errorf("replayed empty model: %+v", st)
+	}
+	// The replayed table really is empty: every ruleID is unknown.
+	if _, err := c2.Record(Outcome{RuleID: "rdeadbeefdeadbeef", ModelVersion: 1}); !errors.Is(err, ErrUnknownRule) {
+		t.Errorf("empty table should reject outcomes: %v", err)
+	}
+}
+
 // TestReplayIsIdempotent reopens the same log twice and expects
 // bit-identical statistics both times — replay is a pure function of
 // the log.

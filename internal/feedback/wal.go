@@ -167,6 +167,8 @@ func (w *WAL) createSegment(i int) error {
 // first if the segment is full and fsyncing per the sync policy. The
 // record is on its way to disk when Append returns nil; with SyncEvery 1
 // it is durably on disk.
+//
+//wal:journal
 func (w *WAL) Append(payload []byte) error {
 	if len(payload) == 0 || len(payload) > maxRecordBytes {
 		return fmt.Errorf("feedback: record of %d bytes outside (0, %d]", len(payload), maxRecordBytes)
@@ -212,6 +214,8 @@ func (w *WAL) rotate() error {
 }
 
 // Sync forces an fsync of the live segment independent of the policy.
+//
+//wal:journal
 func (w *WAL) Sync() error { return w.f.Sync() }
 
 // Size returns the total bytes across all segments, and the number of

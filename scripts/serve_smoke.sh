@@ -15,10 +15,20 @@ BASE="http://$ADDR"
 workdir=$(mktemp -d)
 server_pid=""
 cleanup() {
-    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    if [ -n "$server_pid" ]; then
+        kill "$server_pid" 2>/dev/null || true
+        # Reap the child so the listening port is actually released
+        # before the next smoke run (or CI job) tries to bind it.
+        wait "$server_pid" 2>/dev/null || true
+        server_pid=""
+    fi
     rm -rf "$workdir"
 }
 trap cleanup EXIT
+# An interrupted run must still kill the background server; re-raising
+# through exit routes INT/TERM into the EXIT trap exactly once.
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
 
