@@ -4,12 +4,21 @@
 //
 //	profitminer -in dataset1.pmjl -minsup 0.001
 //	profitminer -in grocery.pmjl -minsup 0.01 -show 25 -demo 3
+//
+// With -window N the model is maintained incrementally: it is built
+// over the first N transactions and then slid through the rest of the
+// dataset -slide transactions at a time, ending on the model over the
+// last N — byte-identical to a batch build over that window, at a
+// fraction of the cost.
+//
+//	profitminer -in dataset1.pmjl -minsup 0.002 -window 5000 -slide 250
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"profitmining"
 )
@@ -30,6 +39,8 @@ func main() {
 		save    = flag.String("save", "", "write the built model to this file (servable by profitserve)")
 		report  = flag.Bool("report", false, "print the model summary report")
 		par     = flag.Int("parallel", 0, "build worker count (0 = one per CPU, 1 = serial; identical output either way)")
+		window  = flag.Int("window", 0, "maintain the model over a sliding window of this many transactions (0 = batch build over the whole dataset)")
+		slide   = flag.Int("slide", 256, "transactions per window slide (with -window)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -63,7 +74,12 @@ func main() {
 		opts.Quantity = profitmining.BuyingMOA{}
 	}
 
-	rec, err := profitmining.Build(ds, opts)
+	var rec *profitmining.Recommender
+	if *window > 0 {
+		rec, err = mineWindowed(ds, opts, *window, *slide)
+	} else {
+		rec, err = profitmining.Build(ds, opts)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -106,6 +122,42 @@ func main() {
 		}
 		fmt.Printf("\nmodel saved to %s\n", *save)
 	}
+}
+
+// mineWindowed builds the initial model over the first window
+// transactions and slides it through the rest of the dataset, printing
+// one line per slide. The returned model covers the last window
+// transactions.
+func mineWindowed(ds *profitmining.Dataset, opts profitmining.Options, window, slide int) (*profitmining.Recommender, error) {
+	if slide < 1 {
+		return nil, fmt.Errorf("-slide must be at least 1")
+	}
+	if window > len(ds.Transactions) {
+		window = len(ds.Transactions)
+	}
+	init := &profitmining.Dataset{Catalog: ds.Catalog, Transactions: ds.Transactions[:window]}
+	start := time.Now()
+	inc, err := profitmining.NewIncremental(init, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("window:  initial model over %d transactions (%.2fs)\n", window, time.Since(start).Seconds())
+	for pos := window; pos < len(ds.Transactions); pos += slide {
+		end := pos + slide
+		if end > len(ds.Transactions) {
+			end = len(ds.Transactions)
+		}
+		start = time.Now()
+		rec, err := inc.Slide(ds.Transactions[pos:end])
+		if err != nil {
+			return nil, fmt.Errorf("slide @%d: %w", pos, err)
+		}
+		st := rec.Stats()
+		fmt.Printf("slide @%d: +%d transactions, %d rules, projected %.2f (%.2fs)\n",
+			pos, end-pos, st.RulesFinal, st.ProjectedProfit, time.Since(start).Seconds())
+	}
+	fmt.Println()
+	return inc.Recommender(), nil
 }
 
 func fail(err error) {

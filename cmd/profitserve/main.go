@@ -26,6 +26,15 @@
 //	    -feedback-dir /var/lib/profitserve/feedback \
 //	    -on-drift 'make retrain'
 //
+// Or answer drift alarms in-process: with -data and -window the model is
+// maintained incrementally over a sliding window of the dataset, and a
+// drift alarm triggers a windowed delta refresh — the window slides
+// -slide transactions forward and the refreshed model is staged through
+// the usual validate → shadow → promote path, no retrain process needed:
+//
+//	profitserve -data grocery.pmjl -minsup 0.01 -window 4000 -slide 250 \
+//	    -feedback-dir /var/lib/profitserve/feedback -shadow 0.5
+//
 // Endpoints: GET /healthz, GET /catalog, GET /rules?limit=N,
 // GET /metrics, GET /version, GET /feedback/stats, POST /admin/reload,
 // POST /recommend {"basket":[{"item":"Beer","promoIx":0,"qty":1}],"k":2},
@@ -49,11 +58,14 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"profitmining"
 	"profitmining/internal/feedback"
+	"profitmining/internal/incremental"
+	"profitmining/internal/mining"
 	"profitmining/internal/registry"
 	"profitmining/internal/serve"
 )
@@ -63,6 +75,8 @@ func main() {
 		modelPath = flag.String("model", "", "saved model file (from profitminer -save)")
 		dataPath  = flag.String("data", "", "dataset file to train on (alternative to -model)")
 		minsup    = flag.Float64("minsup", 0.001, "minimum support when training from -data")
+		window    = flag.Int("window", 0, "with -data: maintain the model over a sliding window of this many transactions and answer drift alarms with an in-process delta refresh (0 = batch build, drift only runs -on-drift)")
+		slide     = flag.Int("slide", 256, "transactions each delta refresh slides the window by (with -window)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		watch     = flag.Bool("watch", false, "poll the -model file and hot-swap new versions")
 		poll      = flag.Duration("poll", 2*time.Second, "poll interval for -watch")
@@ -81,15 +95,27 @@ func main() {
 	)
 	flag.Parse()
 
+	// refresher is stored below once the windowed maintenance is wired
+	// (it needs the registry, which needs the collector): the OnDrift
+	// hook fires from the collector's goroutine, so the late binding
+	// goes through an atomic.
+	var refresher atomic.Pointer[incremental.Refresher]
 	fbCfg := feedback.Config{
 		Dir:   *fbDir,
 		WAL:   feedback.WALOptions{MaxSegmentBytes: *fbSeg, SyncEvery: *fbSync},
 		Drift: feedback.DriftConfig{Delta: *driftDelta, Lambda: *driftLambda, MinObservations: *driftMin},
 		Logf:  log.Printf,
 	}
-	if *onDrift != "" {
+	if *onDrift != "" || *window > 0 {
 		hook := *onDrift
+		//lint:allow atomiczone -- not a request-scoped registry snapshot: the refresher pointer is a process-lifetime late binding, re-loaded on every drift episode
 		fbCfg.OnDrift = func() {
+			if r := refresher.Load(); r != nil {
+				r.OnDrift()
+			}
+			if hook == "" {
+				return
+			}
 			log.Printf("drift detected; running: %s", hook)
 			out, err := exec.Command("sh", "-c", hook).CombinedOutput()
 			if err != nil {
@@ -122,6 +148,8 @@ func main() {
 	switch {
 	case *modelPath != "" && *dataPath != "":
 		fail(fmt.Errorf("give either -model or -data, not both"))
+	case *window > 0 && *dataPath == "":
+		fail(fmt.Errorf("-window requires -data (the window slides over the dataset's transactions)"))
 	case *modelPath != "":
 		watcher, err := registry.NewWatcher(reg, *modelPath, *poll, log.Printf)
 		if err != nil {
@@ -149,6 +177,15 @@ func main() {
 			if opts.Hierarchy, err = spec.Builder(ds.Catalog); err != nil {
 				fail(err)
 			}
+		}
+		if *window > 0 {
+			r, err := windowedRefresher(ds, spec, opts, *window, *slide, reg)
+			if err != nil {
+				fail(err)
+			}
+			refresher.Store(r)
+			log.Printf("windowed maintenance on: drift slides %d transactions per refresh", *slide)
+			break
 		}
 		rec, err := profitmining.Build(ds, opts)
 		if err != nil {
@@ -230,6 +267,49 @@ func main() {
 		<-adminDone
 		log.Printf("drained; bye")
 	}
+}
+
+// windowedRefresher builds the initial model over the first window
+// transactions of the dataset, submits it to the registry, and returns a
+// refresher that answers drift alarms by sliding the window through the
+// remaining transactions (wrapping around when the dataset is
+// exhausted). Each refreshed candidate flows through the registry's
+// validate → shadow → promote lifecycle like any other submission.
+func windowedRefresher(ds *profitmining.Dataset, spec *profitmining.HierarchySpec, opts profitmining.Options, window, slide int, reg *registry.Registry) (*incremental.Refresher, error) {
+	if window > len(ds.Transactions) {
+		window = len(ds.Transactions)
+	}
+	space, err := profitmining.CompileSpace(ds.Catalog, opts.Hierarchy, true)
+	if err != nil {
+		return nil, err
+	}
+	// The maintainer takes the stage configs directly; with only a
+	// support threshold set, these are exactly what profitmining.Build
+	// derives from opts, so the maintained model stays byte-identical to
+	// a batch build over the same window.
+	maint, err := incremental.New(space, ds.Transactions[:window], incremental.Config{
+		Mining: mining.Options{MinSupport: opts.MinSupport},
+	})
+	if err != nil {
+		return nil, err
+	}
+	refresher, err := incremental.NewRefresher(incremental.RefreshConfig{
+		Maintainer: maint,
+		Catalog:    ds.Catalog,
+		Spec:       spec,
+		Source:     ds.Transactions,
+		Start:      window % len(ds.Transactions),
+		Slide:      slide,
+		Registry:   reg,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := refresher.SubmitCurrent(fmt.Sprintf("initial window of %d", window)); err != nil {
+		return nil, err
+	}
+	return refresher, nil
 }
 
 func fail(err error) {

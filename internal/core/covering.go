@@ -91,6 +91,46 @@ func (e *pessimisticEvaluator) Projected(r *rules.Rule, cover []int32) float64 {
 // so every Cover list is the same ascending index sequence the serial
 // walk produces.
 func buildCoveringTree(space *hierarchy.Space, rs []*rules.Rule, txns []model.Transaction, workers int) *Node {
+	root, ruleNode := buildSkeleton(space, rs)
+
+	// MPF cover assignment. A Matcher is read-only after construction but
+	// its trie walk is the hot loop, so each worker builds its own from
+	// the shared rule list (lazily: a worker that never claims a shard
+	// never pays for one).
+	type coverPair struct {
+		node *Node
+		txn  int32
+	}
+	matchers := make([]*rules.Matcher, workers)
+	par.Ordered(workers, len(txns),
+		func(worker, _, lo, hi int) []coverPair {
+			m := matchers[worker]
+			if m == nil {
+				m = rules.NewMatcher(rs)
+				matchers[worker] = m
+			}
+			var pairs []coverPair
+			for ti := lo; ti < hi; ti++ {
+				expanded := space.ExpandBasket(txns[ti].NonTarget)
+				if best := m.Best(expanded); best != nil {
+					pairs = append(pairs, coverPair{ruleNode[best], int32(ti)})
+				}
+			}
+			return pairs
+		},
+		func(_ int, pairs []coverPair) {
+			for _, p := range pairs {
+				p.node.Cover = append(p.node.Cover, p.txn)
+			}
+		})
+	return root
+}
+
+// buildSkeleton constructs the covering-tree structure (nodes, parents,
+// children) without assigning covers. The child order under each parent
+// is determined purely by the rank order of rs, so rebuilding the
+// skeleton from an identical rule list yields an identical shape.
+func buildSkeleton(space *hierarchy.Space, rs []*rules.Rule) (*Node, map[*rules.Rule]*Node) {
 	nodes := make([]*Node, len(rs))
 	var root *Node
 	for i, r := range rs {
@@ -124,38 +164,7 @@ func buildCoveringTree(space *hierarchy.Space, rs []*rules.Rule, txns []model.Tr
 		}
 		gen.Insert(n.Rule)
 	}
-
-	// MPF cover assignment. A Matcher is read-only after construction but
-	// its trie walk is the hot loop, so each worker builds its own from
-	// the shared rule list (lazily: a worker that never claims a shard
-	// never pays for one).
-	type coverPair struct {
-		node *Node
-		txn  int32
-	}
-	matchers := make([]*rules.Matcher, workers)
-	par.Ordered(workers, len(txns),
-		func(worker, _, lo, hi int) []coverPair {
-			m := matchers[worker]
-			if m == nil {
-				m = rules.NewMatcher(rs)
-				matchers[worker] = m
-			}
-			var pairs []coverPair
-			for ti := lo; ti < hi; ti++ {
-				expanded := space.ExpandBasket(txns[ti].NonTarget)
-				if best := m.Best(expanded); best != nil {
-					pairs = append(pairs, coverPair{ruleNode[best], int32(ti)})
-				}
-			}
-			return pairs
-		},
-		func(_ int, pairs []coverPair) {
-			for _, p := range pairs {
-				p.node.Cover = append(p.node.Cover, p.txn)
-			}
-		})
-	return root
+	return root, ruleNode
 }
 
 // projectTree computes Projected = eval.Projected(rule, own cover) for

@@ -143,17 +143,9 @@ func Build(space *hierarchy.Space, txns []model.Transaction, mined *mining.Resul
 	if space == nil || mined == nil || mined.Default == nil {
 		return nil, fmt.Errorf("core: nil space or mining result")
 	}
-	if cfg.CF == 0 { //lint:allow floatcmp -- exact zero is the unset-field sentinel; any explicit CF is validated below
-		cfg.CF = stats.DefaultCF
-	}
-	if cfg.CF <= 0 || cfg.CF >= 1 {
-		return nil, fmt.Errorf("core: CF %g outside (0,1)", cfg.CF)
-	}
-	if cfg.Quantity == nil {
-		cfg.Quantity = model.SavingMOA{}
-	}
-	if cfg.Parallelism < 0 {
-		return nil, fmt.Errorf("core: negative Parallelism %d", cfg.Parallelism)
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
 	}
 	workers := par.Workers(cfg.Parallelism)
 
@@ -186,8 +178,32 @@ func Build(space *hierarchy.Space, txns []model.Transaction, mined *mining.Resul
 	final := collectRules(root)
 	rules.SortByRank(final)
 
-	// Per-item alternates for top-K recommendation: within each target
-	// item's rules, the usual domination argument applies unchanged.
+	alt := computeAlternates(space, all)
+
+	return assemble(space, root, final, alt, len(all), len(kept)), nil
+}
+
+// normalized applies Config defaults and validates the explicit fields.
+func (cfg Config) normalized() (Config, error) {
+	if cfg.CF == 0 { //lint:allow floatcmp -- exact zero is the unset-field sentinel; any explicit CF is validated below
+		cfg.CF = stats.DefaultCF
+	}
+	if cfg.CF <= 0 || cfg.CF >= 1 {
+		return cfg, fmt.Errorf("core: CF %g outside (0,1)", cfg.CF)
+	}
+	if cfg.Quantity == nil {
+		cfg.Quantity = model.SavingMOA{}
+	}
+	if cfg.Parallelism < 0 {
+		return cfg, fmt.Errorf("core: negative Parallelism %d", cfg.Parallelism)
+	}
+	return cfg, nil
+}
+
+// computeAlternates derives the per-item alternate rules for top-K
+// recommendation: within each target item's rules, the usual domination
+// argument applies unchanged.
+func computeAlternates(space *hierarchy.Space, all []*rules.Rule) []*rules.Rule {
 	byItem := map[model.ItemID][]*rules.Rule{}
 	for _, rule := range all {
 		item := space.ItemOf(rule.Head)
@@ -202,8 +218,7 @@ func Build(space *hierarchy.Space, txns []model.Transaction, mined *mining.Resul
 	// layout — and anything that serializes the alternates, such as
 	// model persistence — is identical across runs.
 	rules.SortByRank(alt)
-
-	return assemble(space, root, final, alt, len(all), len(kept)), nil
+	return alt
 }
 
 // assemble wires the derived serving structures — matchers, the

@@ -118,8 +118,34 @@ type txnData struct {
 // Mine generates the rule set R of Section 3.1 from the training
 // transactions.
 func Mine(space *hierarchy.Space, txns []model.Transaction, opts Options) (*Result, error) {
+	m, err := newMiner(space, opts, len(txns))
+	if err != nil {
+		return nil, err
+	}
+	m.prepare(txns)
+	return m.run()
+}
+
+// resolveMinCount turns the relative support threshold into an absolute
+// transaction count for a window of the given size. 0 means mining is
+// driven purely by MinRuleProfit.
+func resolveMinCount(opts Options, numTxns int) int {
+	minCount := opts.MinSupportCount
+	if minCount == 0 && opts.MinSupport > 0 {
+		minCount = int(math.Ceil(opts.MinSupport * float64(numTxns)))
+		if minCount < 1 {
+			minCount = 1
+		}
+	}
+	return minCount
+}
+
+// newMiner validates the options against a window of numTxns transactions
+// and builds a miner ready for prepare + run. Shared by the batch Mine
+// entry point and the incremental Stream.
+func newMiner(space *hierarchy.Space, opts Options, numTxns int) (*miner, error) {
 	opts = opts.withDefaults()
-	if len(txns) == 0 {
+	if numTxns == 0 {
 		return nil, fmt.Errorf("mining: no transactions")
 	}
 	if opts.MinSupport < 0 || opts.MinSupport > 1 {
@@ -138,13 +164,7 @@ func Mine(space *hierarchy.Space, txns []model.Transaction, opts Options) (*Resu
 		return nil, fmt.Errorf("mining: negative Parallelism %d", opts.Parallelism)
 	}
 
-	minCount := opts.MinSupportCount
-	if minCount == 0 && opts.MinSupport > 0 {
-		minCount = int(math.Ceil(opts.MinSupport * float64(len(txns))))
-		if minCount < 1 {
-			minCount = 1
-		}
-	}
+	minCount := resolveMinCount(opts, numTxns)
 	profitPruning := false
 	if minCount == 0 {
 		if opts.MinRuleProfit <= 0 {
@@ -170,7 +190,7 @@ func Mine(space *hierarchy.Space, txns []model.Transaction, opts Options) (*Resu
 		headIdx[h] = int32(i)
 	}
 
-	m := &miner{
+	return &miner{
 		space:         space,
 		opts:          opts,
 		minCount:      minCount,
@@ -178,9 +198,7 @@ func Mine(space *hierarchy.Space, txns []model.Transaction, opts Options) (*Resu
 		heads:         heads,
 		headIdx:       headIdx,
 		workers:       par.Workers(opts.Parallelism),
-	}
-	m.prepare(txns)
-	return m.run()
+	}, nil
 }
 
 type miner struct {
@@ -205,28 +223,32 @@ type miner struct {
 // space and catalog are immutable), so they fan out across the workers;
 // each worker writes only its own txnData slots.
 func (m *miner) prepare(txns []model.Transaction) {
-	cat := m.space.Catalog()
 	m.txns = make([]txnData, len(txns))
 	m.numTxns = len(txns)
 	par.For(m.workers, len(txns), func(i int) {
-		t := &txns[i]
-		td := &m.txns[i]
-		td.items = m.space.ExpandBasket(t.NonTarget)
-		hitHeads := m.space.HeadsOf(t.Target)
-		td.heads = make([]int32, len(hitHeads))
-		td.headProfit = make([]float64, len(hitHeads))
-		recorded := cat.Promo(t.Target.Promo)
-		for j, h := range hitHeads {
-			td.heads[j] = m.headIdx[h]
-			if m.opts.BinaryProfit {
-				td.headProfit[j] = 1
-				continue
-			}
-			rec := cat.Promo(m.space.PromoOf(h))
-			qty := m.opts.Quantity.Quantity(rec, recorded, t.Target.Qty)
-			td.headProfit[j] = rec.Profit() * qty
-		}
+		m.expandTxn(&txns[i], &m.txns[i])
 	})
+}
+
+// expandTxn expands one transaction into its counting form. Safe to call
+// concurrently for distinct td slots: the space and catalog are immutable.
+func (m *miner) expandTxn(t *model.Transaction, td *txnData) {
+	cat := m.space.Catalog()
+	td.items = m.space.ExpandBasket(t.NonTarget)
+	hitHeads := m.space.HeadsOf(t.Target)
+	td.heads = make([]int32, len(hitHeads))
+	td.headProfit = make([]float64, len(hitHeads))
+	recorded := cat.Promo(t.Target.Promo)
+	for j, h := range hitHeads {
+		td.heads[j] = m.headIdx[h]
+		if m.opts.BinaryProfit {
+			td.headProfit[j] = 1
+			continue
+		}
+		rec := cat.Promo(m.space.PromoOf(h))
+		qty := m.opts.Quantity.Quantity(rec, recorded, t.Target.Qty)
+		td.headProfit[j] = rec.Profit() * qty
+	}
 }
 
 func (m *miner) run() (*Result, error) {
@@ -244,7 +266,7 @@ func (m *miner) run() (*Result, error) {
 		if k > m.opts.MaxBodyLen || len(frequent) < 2 {
 			break
 		}
-		cands := m.generateCandidates(frequent)
+		cands, _ := m.generateCandidates(frequent, nil)
 		if len(cands) == 0 {
 			break
 		}
@@ -271,6 +293,29 @@ type candidate struct {
 	// shard accumulation buffers of countLevel.
 	idx  int32
 	slot int32
+
+	// Sliding-window maintenance state (see stream.go); the batch path
+	// leaves all of this zero. freq marks membership in the maintained
+	// frequent border at the candidate's level; touched is the slide
+	// generation that last changed count (deduplicates crossing events).
+	freq    bool
+	touched uint32
+
+	// Cached pass-2 shard partials (see Stream.cachedHeadPass): hist
+	// holds this candidate's head statistics per absolute transaction
+	// shard (touched shards only, ascending); histEnd is the absolute
+	// shard index up to which partials are known (exclusive).
+	hist    []candShard
+	histEnd int32
+}
+
+// candShard is one cached pass-2 shard partial: the head statistics this
+// candidate accumulated over one ShardSize-aligned block of the lifetime
+// transaction stream. Blocks are immutable once the window has passed
+// over them, so a cached row never needs invalidation.
+type candShard struct {
+	shard int32
+	row   []headStat // dense, indexed by head index
 }
 
 func (m *miner) level1Candidates() []*candidate {
@@ -282,9 +327,11 @@ func (m *miner) level1Candidates() []*candidate {
 	return cands
 }
 
-// emitDefault computes the default rule ∅ → g maximizing Prof_re over all
-// heads (body matches every transaction).
-func (m *miner) emitDefault() {
+// defaultHeadStats accumulates per-head hits and profit over the whole
+// window — the statistics of the candidate default rules ∅ → g. The scan
+// is strictly serial so the float additions are in transaction order,
+// matching the ascending-shard merge contract of the counting passes.
+func (m *miner) defaultHeadStats() []headStat {
 	stats := make([]headStat, len(m.heads))
 	for i := range m.txns {
 		td := &m.txns[i]
@@ -293,6 +340,11 @@ func (m *miner) emitDefault() {
 			stats[h].profit += td.headProfit[j]
 		}
 	}
+	return stats
+}
+
+// bestDefaultHead picks the head maximizing profit, breaking ties by hits.
+func bestDefaultHead(stats []headStat) int {
 	best := 0
 	for h := 1; h < len(stats); h++ {
 		if stats[h].profit > stats[best].profit ||
@@ -301,6 +353,14 @@ func (m *miner) emitDefault() {
 			best = h
 		}
 	}
+	return best
+}
+
+// emitDefault computes the default rule ∅ → g maximizing Prof_re over all
+// heads (body matches every transaction).
+func (m *miner) emitDefault() {
+	stats := m.defaultHeadStats()
+	best := bestDefaultHead(stats)
 	m.result.Default = &rules.Rule{
 		Head:      m.heads[best],
 		BodyCount: m.numTxns,
@@ -392,6 +452,55 @@ func (p *bufPool) put(b *countBuf) {
 	}
 }
 
+// buildBodyTrie builds the candidate prefix trie for one counting pass.
+// Candidates must be in lexicographic order of their items, so the trie
+// can be built by sequential insertion.
+func buildBodyTrie(cands []*candidate) *trieNode {
+	root := &trieNode{}
+	for _, c := range cands {
+		node := root
+		for _, g := range c.items {
+			n := len(node.children)
+			if n > 0 && node.children[n-1].item == g {
+				node = node.children[n-1]
+				continue
+			}
+			child := &trieNode{item: g}
+			node.children = append(node.children, child)
+			node = child
+		}
+		node.cand = c
+	}
+	return root
+}
+
+// countBodiesPass is pass 1 of support counting: body match counts only
+// (pure integers), added into each candidate's count in ascending shard
+// order. It assigns candidate indexes, so cands must be exactly the
+// candidates reachable from root.
+func (m *miner) countBodiesPass(cands []*candidate, root *trieNode) {
+	for i, c := range cands {
+		c.idx = int32(i)
+	}
+	pool := newBufPool(m.workers, len(cands), 0, false)
+	par.Ordered(m.workers, len(m.txns),
+		func(_, _, lo, hi int) *countBuf {
+			buf := pool.get()
+			for i := lo; i < hi; i++ {
+				if items := m.txns[i].items; len(items) > 0 {
+					countBodies(root.children, items, buf)
+				}
+			}
+			return buf
+		},
+		func(_ int, buf *countBuf) {
+			for _, ci := range buf.touched {
+				cands[ci].count += buf.counts[ci]
+			}
+			pool.put(buf)
+		})
+}
+
 // countLevel counts body matches and per-head hits for all candidates of
 // one level. Under support mining it makes two passes over the
 // transactions: the first counts body matches only, and per-head
@@ -416,49 +525,19 @@ func (m *miner) countLevel(cands []*candidate) []*candidate {
 		c.slot = -1
 	}
 
-	// Candidates are generated in lexicographic order of their items, so
-	// the trie can be built by sequential insertion.
-	root := &trieNode{}
-	for _, c := range cands {
-		node := root
-		for _, g := range c.items {
-			n := len(node.children)
-			if n > 0 && node.children[n-1].item == g {
-				node = node.children[n-1]
-				continue
-			}
-			child := &trieNode{item: g}
-			node.children = append(node.children, child)
-			node = child
-		}
-		node.cand = c
-	}
+	root := buildBodyTrie(cands)
 
 	if m.minCount > 0 {
 		// Pass 1: body counts only (pure integers).
-		pool := newBufPool(m.workers, len(cands), 0, false)
-		par.Ordered(m.workers, len(m.txns),
-			func(_, _, lo, hi int) *countBuf {
-				buf := pool.get()
-				for i := lo; i < hi; i++ {
-					if items := m.txns[i].items; len(items) > 0 {
-						countBodies(root.children, items, buf)
-					}
-				}
-				return buf
-			},
-			func(_ int, buf *countBuf) {
-				for _, ci := range buf.touched {
-					cands[ci].count += buf.counts[ci]
-				}
-				pool.put(buf)
-			})
+		m.countBodiesPass(cands, root)
 
-		// Pass 2: head statistics for the frequent bodies alone.
+		// Pass 2: head statistics for the frequent bodies alone. The stat
+		// slices themselves are allocated lazily by the merge, only for
+		// bodies with at least one hit — most frequent bodies never co-occur
+		// with a target and zeroing their slices dominated the pass.
 		var bySlot []*candidate
 		for _, c := range cands {
 			if c.count >= m.minCount {
-				c.stats = make([]headStat, len(m.heads))
 				c.slot = int32(len(bySlot))
 				bySlot = append(bySlot, c)
 			}
@@ -466,7 +545,12 @@ func (m *miner) countLevel(cands []*candidate) []*candidate {
 		if len(bySlot) == 0 {
 			return cands
 		}
-		m.countPass(cands, bySlot, root, countHeads)
+		// The head pass only visits candidates carrying a stat slot, so it
+		// walks a trie over those alone — orders of magnitude smaller than
+		// the full candidate trie at low supports. The accumulation order
+		// (within-shard transaction order, then ascending shard order) does
+		// not depend on the trie shape, so the statistics stay byte-identical.
+		m.countPass(cands, bySlot, buildBodyTrie(bySlot), countHeads)
 		return cands
 	}
 
@@ -676,20 +760,31 @@ func (m *miner) emitRules(frequent []*candidate) {
 
 // generateCandidates joins frequent k-bodies sharing a (k−1)-prefix into
 // (k+1)-candidates, enforcing the antichain constraint on the new pair and
-// the Apriori condition that every k-subset is frequent.
-func (m *miner) generateCandidates(frequent []*candidate) []*candidate {
-	// Index frequent bodies for the subset check.
-	freq := make(map[string]bool, len(frequent))
-	for _, c := range frequent {
-		freq[rules.BodyKey(c.items)] = true
-	}
-
+// the Apriori condition that every k-subset is frequent (checked against a
+// trie of the frequent bodies — no per-candidate key material).
+//
+// monitored, when non-nil, is a persistent trie of previously counted
+// candidates at the target level (see Stream): a generated body already in
+// it is adopted — its existing *candidate, count and all, is emitted
+// instead of a fresh allocation. fresh lists the candidates not adopted
+// (all of out when monitored is nil), in lexicographic order; they are the
+// ones still needing a body count.
+func (m *miner) generateCandidates(frequent []*candidate, monitored *trieNode) (out, fresh []*candidate) {
 	k := len(frequent[0].items)
-	var out []*candidate
-	sub := make([]hierarchy.GenID, k) // scratch for subset checks
+	var freqTrie *trieNode
+	if k >= 2 {
+		freqTrie = buildBodyTrie(frequent) // for the subset checks
+	}
+	join := make([]hierarchy.GenID, k+1) // scratch: the joined body
+	sub := make([]hierarchy.GenID, k)    // scratch: one subset of it
 
 	for i := 0; i < len(frequent); i++ {
 		a := frequent[i]
+		var prefix *trieNode
+		if monitored != nil {
+			prefix = descend(monitored, a.items)
+		}
+		copy(join, a.items)
 		for j := i + 1; j < len(frequent); j++ {
 			b := frequent[j]
 			if !samePrefix(a.items, b.items, k-1) {
@@ -700,23 +795,30 @@ func (m *miner) generateCandidates(frequent []*candidate) []*candidate {
 			if m.space.Comparable(x, y) {
 				continue // bodies must be antichains (Definition 4)
 			}
-			items := make([]hierarchy.GenID, 0, k+1)
-			items = append(items, a.items...)
-			items = append(items, y)
-
-			if k >= 2 && !m.allSubsetsFrequent(items, sub, freq) {
+			join[k] = y
+			if k >= 2 && !m.allSubsetsFrequent(join, sub, freqTrie) {
 				continue
 			}
-			out = append(out, &candidate{items: items})
+			if prefix != nil {
+				if node := findChild(prefix.children, y); node != nil && node.cand != nil {
+					out = append(out, node.cand)
+					continue
+				}
+			}
+			items := make([]hierarchy.GenID, k+1)
+			copy(items, join)
+			c := &candidate{items: items}
+			out = append(out, c)
+			fresh = append(fresh, c)
 		}
 	}
-	return out
+	return out, fresh
 }
 
 // allSubsetsFrequent checks the Apriori condition for the subsets that
 // drop one of the first k−1 elements (dropping either of the last two
 // yields the generating pair, which is frequent by construction).
-func (m *miner) allSubsetsFrequent(items, sub []hierarchy.GenID, freq map[string]bool) bool {
+func (m *miner) allSubsetsFrequent(items, sub []hierarchy.GenID, freq *trieNode) bool {
 	n := len(items)
 	for drop := 0; drop < n-2; drop++ {
 		sub = sub[:0]
@@ -725,11 +827,40 @@ func (m *miner) allSubsetsFrequent(items, sub []hierarchy.GenID, freq map[string
 				sub = append(sub, g)
 			}
 		}
-		if !freq[rules.BodyKey(sub)] {
+		if node := descend(freq, sub); node == nil || node.cand == nil {
 			return false
 		}
 	}
 	return true
+}
+
+// findChild binary-searches a node's sorted children for item g.
+func findChild(ch []*trieNode, g hierarchy.GenID) *trieNode {
+	lo, hi := 0, len(ch)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ch[mid].item < g {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ch) && ch[lo].item == g {
+		return ch[lo]
+	}
+	return nil
+}
+
+// descend follows items down the trie, returning the node at the end of
+// the path or nil if the path is absent.
+func descend(root *trieNode, items []hierarchy.GenID) *trieNode {
+	node := root
+	for _, g := range items {
+		if node = findChild(node.children, g); node == nil {
+			return nil
+		}
+	}
+	return node
 }
 
 func samePrefix(a, b []hierarchy.GenID, n int) bool {

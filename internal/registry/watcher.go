@@ -19,9 +19,19 @@ import (
 // content hash decides whether the bytes are actually new — an
 // overwrite with identical content, or a touch(1), never restages.
 //
+// The stat fast path is only trusted once the memoized mtime is
+// comfortably older than the read that memoized it (mtimeSlack). A file
+// rewritten with same-size content within one mtime tick — coarse
+// filesystem timestamps, fast CI writers — stats identical to what was
+// just read; re-hashing until the tick has safely passed closes that
+// window (the same "racily clean" hazard git's index handles this way).
+//
 // A candidate that fails to load or validate is remembered by hash so
 // the poll loop does not re-parse the same broken file every interval;
-// the active snapshot keeps serving.
+// the active snapshot keeps serving. A rejection memo is keyed on the
+// active version too: rejections can be state-dependent (Options.Gate
+// compares candidates against the then-active snapshot), so the same
+// bytes are retried once the active model changes.
 type Watcher struct {
 	reg      *Registry
 	path     string
@@ -30,11 +40,19 @@ type Watcher struct {
 
 	// memo of the last poll; Check is callable from both the poll loop
 	// and /admin/reload, so the memo lives under a mutex.
-	mu       sync.Mutex
-	lastMod  time.Time
-	lastSize int64
-	lastHash string // last content hash seen, accepted or rejected
+	mu         sync.Mutex
+	lastMod    time.Time
+	lastSize   int64
+	lastReadAt time.Time // when the memoized stat was taken
+
+	lastHash       string // last content hash seen, accepted or rejected
+	lastRejected   bool   // whether lastHash was rejected
+	lastHashActive int    // active version when lastHash was memoized
 }
+
+// mtimeSlack is how much older than its read a memoized mtime must be
+// before an unchanged stat is trusted to mean unchanged content.
+const mtimeSlack = 2 * time.Second
 
 // NewWatcher creates a watcher over path polling at interval (minimum
 // 10ms). logf receives one line per state change (nil discards).
@@ -82,7 +100,10 @@ func (w *Watcher) Check() (*Snapshot, Outcome, error) {
 	if err != nil {
 		return nil, Rejected, fmt.Errorf("stat model file: %w", err)
 	}
-	if info.ModTime().Equal(w.lastMod) && info.Size() == w.lastSize {
+	if info.ModTime().Equal(w.lastMod) && info.Size() == w.lastSize &&
+		w.lastReadAt.Sub(w.lastMod) >= mtimeSlack {
+		// Unchanged stat, and the mtime tick had safely passed when we
+		// last read: any later write would have bumped the mtime.
 		return nil, Unchanged, nil
 	}
 	data, err := os.ReadFile(w.path)
@@ -91,21 +112,48 @@ func (w *Watcher) Check() (*Snapshot, Outcome, error) {
 	}
 	// Memoize the stat only after a successful read, so a read that
 	// raced a writer is retried next poll.
-	w.lastMod, w.lastSize = info.ModTime(), info.Size()
+	w.lastMod, w.lastSize, w.lastReadAt = info.ModTime(), info.Size(), time.Now()
 
 	sum := sha256.Sum256(data)
 	hash := hex.EncodeToString(sum[:])
-	if hash == w.lastHash {
+	activeVer := 0
+	if a := w.reg.Active(); a != nil {
+		activeVer = a.Version
+		if hash == a.Hash {
+			// The file holds exactly the bytes being served (e.g. an
+			// in-process refresh promoted them); nothing to resubmit.
+			w.lastHash, w.lastRejected, w.lastHashActive = hash, false, activeVer
+			return nil, Unchanged, nil
+		}
+	}
+	if st := w.reg.Staged(); st != nil && hash == st.Hash {
+		w.lastHash, w.lastRejected, w.lastHashActive = hash, false, activeVer
+		return nil, Unchanged, nil
+	}
+	if hash == w.lastHash && (!w.lastRejected || activeVer == w.lastHashActive) {
+		// Same bytes as last poll. An accepted memo stands on its own; a
+		// rejection memo only holds while the active version it was made
+		// against is still serving — gate rejections are state-dependent.
 		return nil, Unchanged, nil
 	}
 	w.lastHash = hash
 
 	cat, rec, err := modelio.Load(bytes.NewReader(data))
 	if err != nil {
+		w.lastRejected, w.lastHashActive = true, activeVer
 		w.logf("registry: candidate %s (%.8s) rejected: %v", w.path, hash, err)
 		return nil, Rejected, fmt.Errorf("load candidate: %w", err)
 	}
 	snap, outcome, err := w.reg.Submit(cat, rec, w.path, hash)
+	// Memoize against the post-Submit active version: when this very
+	// Submit promoted the candidate, the memo must not read our own
+	// promotion as an invalidation on the next poll.
+	w.lastRejected = err != nil
+	if a := w.reg.Active(); a != nil {
+		w.lastHashActive = a.Version
+	} else {
+		w.lastHashActive = 0
+	}
 	if err != nil {
 		w.logf("registry: candidate %s (%.8s) rejected: %v", w.path, hash, err)
 		return nil, outcome, err

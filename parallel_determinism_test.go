@@ -58,6 +58,95 @@ func TestParallelBuildIsByteIdentical(t *testing.T) {
 	}
 }
 
+// TestIncrementalSlideMatchesRebuild is the byte-identity contract of
+// incremental maintenance: after any schedule of window slides, the
+// model maintained by Incremental.Slide must serialize to exactly the
+// bytes a from-scratch Build over the same window produces — at any
+// worker count. The schedules cover steady turnover, an empty slide
+// (a no-op), a single-transaction nudge (almost everything clean — the
+// cached-projection and cached-pruning paths must still reproduce the
+// batch bytes), a bulk slide turning over a quarter of the window, and
+// an odd remainder. The shard-aligned schedule keeps the window on the
+// counting-pass shard grid (multiples of 1024), which engages the
+// cached pass-2 shard-partial replay; its middle slide breaks alignment
+// (plain-pass fallback) and the last one restores it, so cache reuse
+// across an alignment gap is covered too. Runs under -race in CI,
+// vouching for the delta passes' memory safety.
+func TestIncrementalSlideMatchesRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed slide matrix")
+	}
+	schedules := []struct {
+		window int
+		slides []int
+	}{
+		{700, []int{80, 0, 80}},       // steady slides around a no-op empty slide
+		{700, []int{1, 170, 29}},      // a nudge, a bulk turnover, an odd remainder
+		{2048, []int{1024, 100, 924}}, // shard-aligned → unaligned → realigned
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		ds, err := profitmining.GenerateDatasetI(profitmining.QuestConfig{
+			NumTransactions: 4200,
+			NumItems:        60,
+			Seed:            seed,
+		}, seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, schedule := range schedules {
+			window, schedule := schedule.window, schedule.slides
+			t.Run(fmt.Sprintf("seed=%d/schedule=%d", seed, si), func(t *testing.T) {
+				opts := profitmining.Options{MinSupport: 0.012}
+				init := &profitmining.Dataset{
+					Catalog:      ds.Catalog,
+					Transactions: ds.Transactions[:window],
+				}
+				// One maintainer per worker count; both must match one
+				// shared rebuild baseline (model bytes are worker-
+				// independent — the batch determinism contract above).
+				workerCounts := []int{1, 8}
+				incs := make([]*profitmining.Incremental, len(workerCounts))
+				for i, workers := range workerCounts {
+					wopts := opts
+					wopts.Parallelism = workers
+					inc, err := profitmining.NewIncremental(init, wopts)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					incs[i] = inc
+				}
+				check := func(step string) {
+					t.Helper()
+					cur := &profitmining.Dataset{Catalog: ds.Catalog, Transactions: incs[0].Window()}
+					want := buildModelBytes(t, cur, opts, 8)
+					for i, inc := range incs {
+						var buf bytes.Buffer
+						if err := profitmining.WriteModel(&buf, ds.Catalog, nil, inc.Recommender()); err != nil {
+							t.Fatalf("%s: workers=%d: serializing: %v", step, workerCounts[i], err)
+						}
+						if !bytes.Equal(buf.Bytes(), want) {
+							t.Fatalf("%s: workers=%d: incremental model diverged from rebuild (%d vs %d bytes)",
+								step, workerCounts[i], buf.Len(), len(want))
+						}
+					}
+				}
+				check("initial")
+				pos := window
+				for step, n := range schedule {
+					batch := ds.Transactions[pos : pos+n]
+					pos += n
+					for i, inc := range incs {
+						if _, err := inc.Slide(batch); err != nil {
+							t.Fatalf("slide %d (+%d): workers=%d: %v", step, n, workerCounts[i], err)
+						}
+					}
+					check(fmt.Sprintf("slide %d (+%d)", step, n))
+				}
+			})
+		}
+	}
+}
+
 func buildModelBytes(t *testing.T, ds *profitmining.Dataset, opts profitmining.Options, workers int) []byte {
 	t.Helper()
 	opts.Parallelism = workers

@@ -190,31 +190,41 @@ func Build(ds *Dataset, opts Options) (*Recommender, error) {
 	if err != nil {
 		return nil, err
 	}
-	mined, err := mining.Mine(space, ds.Transactions, mining.Options{
-		MinSupport:      opts.MinSupport,
-		MinSupportCount: opts.MinSupportCount,
-		MinRuleProfit:   opts.MinRuleProfit,
-		MinConfidence:   opts.MinConfidence,
-		MaxBodyLen:      opts.MaxBodyLen,
-		BinaryProfit:    opts.BinaryProfit,
-		Quantity:        opts.Quantity,
-		Parallelism:     opts.Parallelism,
-	})
+	mined, err := mining.Mine(space, ds.Transactions, opts.miningOptions())
 	if err != nil {
 		return nil, err
 	}
+	return core.Build(space, ds.Transactions, mined, opts.coreConfig())
+}
+
+// miningOptions maps the public options onto the mining stage's.
+func (o Options) miningOptions() mining.Options {
+	return mining.Options{
+		MinSupport:      o.MinSupport,
+		MinSupportCount: o.MinSupportCount,
+		MinRuleProfit:   o.MinRuleProfit,
+		MinConfidence:   o.MinConfidence,
+		MaxBodyLen:      o.MaxBodyLen,
+		BinaryProfit:    o.BinaryProfit,
+		Quantity:        o.Quantity,
+		Parallelism:     o.Parallelism,
+	}
+}
+
+// coreConfig maps the public options onto the model-construction stage's.
+func (o Options) coreConfig() core.Config {
 	prune := core.PruneCutOptimal
-	if opts.DisablePruning {
+	if o.DisablePruning {
 		prune = core.PruneOff
 	}
-	return core.Build(space, ds.Transactions, mined, core.Config{
-		CF:           opts.CF,
+	return core.Config{
+		CF:           o.CF,
 		Prune:        prune,
-		BinaryProfit: opts.BinaryProfit,
-		Quantity:     opts.Quantity,
-		MinInterest:  opts.MinInterest,
-		Parallelism:  opts.Parallelism,
-	})
+		BinaryProfit: o.BinaryProfit,
+		Quantity:     o.Quantity,
+		MinInterest:  o.MinInterest,
+		Parallelism:  o.Parallelism,
+	}
 }
 
 // CompileSpace compiles the generalized-sale space a dataset's

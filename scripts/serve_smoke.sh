@@ -7,7 +7,11 @@
 # that traffic keeps flowing during the swap, that a corrupt candidate
 # is rejected while the old version keeps serving, that the feedback
 # loop accepts outcome reports and accounts for them on
-# /feedback/stats, and that SIGTERM drains cleanly.
+# /feedback/stats, and that SIGTERM drains cleanly. A second, windowed
+# server then closes the maintenance loop end to end: sustained outcome
+# divergence raises the drift alarm, the in-process delta refresh slides
+# the window and stages a candidate, shadow traffic scores it, and the
+# refreshed model auto-promotes with the drift detector reset.
 set -euo pipefail
 
 ADDR="127.0.0.1:${SMOKE_PORT:-18080}"
@@ -111,4 +115,58 @@ done
 wait "$server_pid" || fail "server exited nonzero on graceful shutdown"
 server_pid=""
 
-echo "serve-smoke: OK (swapped $hash1 -> $hash2, rejection safe, drain clean)"
+echo "== windowed mode: drift alarm -> in-process delta refresh -> auto-promote"
+ADDR_W="127.0.0.1:${SMOKE_PORT_WINDOWED:-18081}"
+BASE_W="http://$ADDR_W"
+# Tight drift thresholds so a short burst of misses trips the alarm;
+# shadow fraction 1 with a floor of 3 so a handful of requests promotes.
+"$workdir/profitserve" -data "$workdir/data.pmjl" -minsup 0.01 \
+    -window 2000 -slide 500 -addr "$ADDR_W" -shadow 1 -shadow-samples 3 \
+    -drift-lambda 1 -drift-delta 0.001 -drift-min 5 &
+server_pid=$!
+for i in $(seq 1 100); do
+    curl -sf "$BASE_W/healthz" >/dev/null 2>&1 && break
+    [ "$i" = 100 ] && fail "windowed server never came up"
+    sleep 0.2
+done
+whash1=$(curl -sf "$BASE_W/version" | json_field hash)
+[ -n "$whash1" ] || fail "windowed /version returned no hash"
+echo "   serving $whash1 over the initial window"
+
+wrule=$(curl -sf "$BASE_W/rules?limit=1" | json_field id)
+[ -n "$wrule" ] || fail "windowed server exposes no rules"
+for i in $(seq 1 10); do
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        -d "{\"requestID\":\"calib-$i\",\"ruleID\":\"$wrule\",\"bought\":true}" \
+        "$BASE_W/outcome" >/dev/null || fail "calibration outcome $i rejected"
+done
+drifted=""
+for i in $(seq 1 300); do
+    out=$(curl -s -X POST -H 'Content-Type: application/json' \
+        -d "{\"requestID\":\"miss-$i\",\"ruleID\":\"$wrule\"}" "$BASE_W/outcome")
+    if echo "$out" | grep -q '"drifting":true'; then drifted=1; break; fi
+done
+[ -n "$drifted" ] || fail "sustained misses never raised the drift alarm"
+echo "   drift alarm raised; shadow traffic must promote the delta refresh"
+
+whash2=""
+for i in $(seq 1 100); do
+    # Shadowed recommend traffic scores the staged candidate; at the
+    # sample floor the registry promotes it on its own.
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        -d '{"basket":[{"item":"item-0001","promoIx":0}]}' "$BASE_W/recommend" >/dev/null \
+        || fail "recommend dropped while a candidate was staged"
+    whash2=$(curl -sf "$BASE_W/version" | json_field hash)
+    [ -n "$whash2" ] && [ "$whash2" != "$whash1" ] && break
+    [ "$i" = 100 ] && fail "delta refresh never promoted a new model (still $whash1)"
+    sleep 0.2
+done
+echo "   delta refresh promoted $whash2"
+curl -sf "$BASE_W/healthz" | grep -q '"drifting":false' \
+    || fail "promotion did not reset the drift detector"
+
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "windowed server exited nonzero on graceful shutdown"
+server_pid=""
+
+echo "serve-smoke: OK (swapped $hash1 -> $hash2, rejection safe, drift refresh promoted $whash2, drain clean)"
