@@ -64,6 +64,11 @@ func main() {
 		feedSync    = flag.Int("feedsync", 0, "fsync policy for -feedbench (0 = OS-buffered, 1 = fsync per record)")
 		feedSeg     = flag.Int64("feedseg", 4<<20, "segment size in bytes for -feedbench (small enough to exercise rotation)")
 		feedOut     = flag.String("feedout", "BENCH_feedback.json", "where -feedbench writes its JSON report")
+
+		clusterBench = flag.Bool("clusterbench", false, "instead of the figure sweep, stand up an in-process replica fleet + coordinator, enforce the distributed tier's acceptance gates and write a JSON report")
+		clusterReqs  = flag.Int("clusterreqs", 200, "batch requests timed per tier by -clusterbench")
+		clusterRatio = flag.Float64("clusterratio", 2, "maximum coordinator/single-node batch p99 ratio -clusterbench enforces")
+		clusterOut   = flag.String("clusterout", "BENCH_cluster.json", "where -clusterbench writes its JSON report")
 	)
 	flag.Parse()
 
@@ -98,6 +103,10 @@ func main() {
 	}
 	if *feedBench {
 		runFeedBench(*feedRecords, *feedSync, *feedSeg, *seed, *feedOut)
+		return
+	}
+	if *clusterBench {
+		runClusterBench(names[0], *txns, *items, sups[0], *maxLen, *seed, *clusterReqs, *clusterRatio, *clusterOut)
 		return
 	}
 

@@ -358,6 +358,20 @@ func (c *Collector) LogSize() (bytes int64, segments int, err error) {
 	return c.wal.Size()
 }
 
+// Rotate seals the live WAL segment on demand so its records become
+// shippable (no-op in in-memory mode, and when the live segment is
+// empty). The cluster shipper calls this each shipping tick: sealed
+// segments are immutable and fully fsynced, so they can be read and
+// content-addressed without racing the appender.
+func (c *Collector) Rotate() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wal == nil {
+		return nil
+	}
+	return c.wal.Rotate()
+}
+
 // Sync forces the WAL to disk (no-op in in-memory mode).
 func (c *Collector) Sync() error {
 	c.mu.Lock()

@@ -1,0 +1,110 @@
+package feedback
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Fold is the cluster-side counterpart of the Collector's replay path:
+// a pure, in-memory fold of WAL record payloads into realized-profit
+// aggregates and a Page-Hinkley drift detector. The coordinator feeds
+// it the records of every shipped segment in a deterministic total
+// order (node, segment sequence, record index), so two folds over the
+// same segment set produce bit-identical Stats no matter how the
+// segments arrived.
+//
+// The aggregates count every outcome — they are order-independent
+// sums. The detector needs more care, because the cluster replay
+// concatenates per-node streams rather than interleaving them by wall
+// clock, and a fleet of N replicas serving the same model journals N
+// registrations of the same content key:
+//
+//   - Each node's current model key is tracked from its own
+//     registrations (per-node order is the node's true append order).
+//   - The cluster's model EPISODE is the registration with the highest
+//     (version, key) — a max over the record set, so it lands on the
+//     same episode regardless of how nodes interleave. The detector
+//     resets when the episode's content key changes.
+//   - An outcome feeds the detector only while its node is serving the
+//     episode key. A node whose stream still carries pre-refresh
+//     outcomes cannot re-trip the alarm against the refreshed model,
+//     and a node that lags the fleet is excluded until it syncs.
+//
+// For a single node this degenerates to exactly the Collector's own
+// behavior: every journaled registration is a key change, each opens a
+// new episode, and every outcome is attributed to it.
+//
+// Fold is not safe for concurrent use; the owning spool serializes.
+type Fold struct {
+	agg      *aggregates
+	det      *detector
+	perNode  map[string]string // node identity → current model key
+	bestVer  int               // episode registration version
+	modelKey string            // episode content key
+	outcomes int64
+}
+
+// NewFold creates an empty fold with the given drift configuration.
+func NewFold(cfg DriftConfig) *Fold {
+	return &Fold{agg: newAggregates(), det: newDetector(cfg), perNode: make(map[string]string)}
+}
+
+// Apply folds one WAL record payload shipped by node (any stable node
+// identity; the spool uses the hashed node component of its key).
+// Unknown record kinds are an error: a shipped segment comes from a
+// peer running this codebase, so an unknown kind means corruption or
+// version skew, not forward compatibility to be silently skipped.
+func (f *Fold) Apply(node string, payload []byte) error {
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("feedback: undecodable record: %w", err)
+	}
+	switch rec.Kind {
+	case "outcome":
+		f.outcomes++
+		f.agg.apply(rec.RuleID, rec.ModelVersion, rec.Bought, rec.Qty, rec.Realized, rec.Projected)
+		if f.modelKey == "" || f.perNode[node] == f.modelKey {
+			f.det.observe(rec.Projected - rec.Realized)
+		}
+	case "model":
+		// Projections are not folded: outcome records are self-contained
+		// (projected and realized stamped at append), so the fold needs
+		// only the completed registration's key and version for
+		// drift-episode bookkeeping.
+		if !rec.Last {
+			break
+		}
+		f.perNode[node] = rec.Key
+		newer := rec.Version > f.bestVer || (rec.Version == f.bestVer && rec.Key > f.modelKey)
+		if newer {
+			f.bestVer = rec.Version
+			if rec.Key != f.modelKey {
+				f.modelKey = rec.Key
+				f.det.reset()
+			}
+		}
+	default:
+		return fmt.Errorf("feedback: unknown record kind %q", rec.Kind)
+	}
+	return nil
+}
+
+// Stats snapshots the fold with the same deterministic ordering and
+// sorted-order totals as the Collector (limit semantics match
+// Collector.Stats).
+func (f *Fold) Stats(limit int) Stats {
+	return f.agg.snapshot(limit, f.det.state())
+}
+
+// Drifting reports the detector flag.
+func (f *Fold) Drifting() bool { return f.det.drifting }
+
+// ModelKey returns the content key of the current model episode — the
+// highest-versioned completed registration in the stream ("" before
+// any). It is the drift-episode key the coordinator uses to fire
+// exactly one refresh per alarm; a repeat registration of the episode
+// key (another replica of the same model) never re-keys the episode.
+func (f *Fold) ModelKey() string { return f.modelKey }
+
+// Outcomes returns the number of outcome records folded so far.
+func (f *Fold) Outcomes() int64 { return f.outcomes }

@@ -218,6 +218,18 @@ func (w *WAL) rotate() error {
 //wal:journal
 func (w *WAL) Sync() error { return w.f.Sync() }
 
+// Rotate seals the live segment on demand — the hook the cluster
+// shipper uses to turn buffered outcomes into a shippable (sealed,
+// fully fsynced) segment without waiting for MaxSegmentBytes. A live
+// segment holding no records is left alone: rotating it would mint
+// empty segments every tick.
+func (w *WAL) Rotate() error {
+	if w.size <= int64(len(segMagic)) {
+		return nil
+	}
+	return w.rotate()
+}
+
 // Size returns the total bytes across all segments, and the number of
 // segments, for metrics and benchmarks.
 func (w *WAL) Size() (bytes int64, segs int, err error) {
@@ -335,6 +347,77 @@ func replaySegment(path string, tailOK bool, fn func([]byte) error) (dropped, re
 		off += frameHeader + len(payload)
 	}
 	return 0, records, nil
+}
+
+// SealedSegmentPaths lists the sealed WAL segments of dir in ascending
+// segment order — every segment except the live (highest-numbered) one.
+// Sealed segments are immutable, so callers may read them without
+// coordinating with the appender; this is the shipping unit of the
+// cluster tier.
+func SealedSegmentPaths(dir string) ([]string, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("feedback: listing WAL dir: %w", err)
+	}
+	if len(segs) < 2 {
+		return nil, nil
+	}
+	out := make([]string, 0, len(segs)-1)
+	for _, i := range segs[:len(segs)-1] {
+		out = append(out, filepath.Join(dir, segName(i)))
+	}
+	return out, nil
+}
+
+// SegmentSeq recovers a segment's sequence number from its file name.
+// Segment numbers are assigned monotonically by the appender, so
+// (node, sequence) totally orders one node's history — the property
+// the cluster spool's deterministic replay is built on.
+func SegmentSeq(path string) (int, error) {
+	var i int
+	base := filepath.Base(path)
+	if _, err := fmt.Sscanf(base, "outcomes-%08d.wal", &i); err != nil || segName(i) != base {
+		return 0, fmt.Errorf("feedback: %q is not a WAL segment name", base)
+	}
+	return i, nil
+}
+
+// ParseSegment streams every record of one complete segment image
+// through fn. Unlike Replay it is strict: sealed segments are complete
+// by construction, so any torn or corrupted frame is an error, never a
+// tolerated tail. This is the validation the cluster aggregator runs on
+// shipped segments before admitting them to the spool.
+func ParseSegment(data []byte, fn func(payload []byte) error) error {
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return fmt.Errorf("feedback: not a WAL segment")
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < frameHeader {
+			return fmt.Errorf("feedback: torn frame header at offset %d", off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > maxRecordBytes {
+			return fmt.Errorf("feedback: impossible record length %d at offset %d", n, off)
+		}
+		if rest < frameHeader+n {
+			return fmt.Errorf("feedback: torn record payload at offset %d", off)
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return fmt.Errorf("feedback: CRC mismatch at offset %d", off)
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+		off += frameHeader + n
+	}
+	return nil
 }
 
 // validPrefix scans a segment and returns the byte offset of the end of

@@ -30,8 +30,15 @@ func TestRecommendBatch(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %v", resp.StatusCode, out)
 	}
-	if resp.Header.Get("X-Model-Version") == "" {
-		t.Error("missing X-Model-Version header")
+	ver, ok := out["modelVersion"].(float64)
+	if !ok {
+		t.Fatalf("missing modelVersion: %v", out)
+	}
+	// The header must pin the exact version the envelope reports, so a
+	// coordinator forwarding the batch can detect fleet version skew
+	// without parsing the body.
+	if got := resp.Header.Get("X-Model-Version"); got != fmt.Sprintf("%d", int(ver)) {
+		t.Errorf("X-Model-Version header %q does not match envelope modelVersion %v", got, ver)
 	}
 	results, ok := out["results"].([]any)
 	if !ok || len(results) != 3 {
@@ -51,9 +58,6 @@ func TestRecommendBatch(t *testing.T) {
 	third := results[2].(map[string]any)
 	if _, ok := third["recommendations"]; !ok {
 		t.Fatalf("result 2 has no recommendations: %v", third)
-	}
-	if _, ok := out["modelVersion"].(float64); !ok {
-		t.Fatalf("missing modelVersion: %v", out)
 	}
 }
 

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     map[string]string
+)
+
+// BuildInfo reports how the running binary was built: the Go toolchain,
+// the module version, and the VCS revision stamped by `go build`. It is
+// embedded in /version responses so a mixed-version fleet is
+// diagnosable from the coordinator's merged view — two replicas can
+// agree on the model hash yet run different binaries, and this is the
+// field that says so. The map is built once and shared; treat it as
+// read-only.
+func BuildInfo() map[string]string {
+	buildInfoOnce.Do(func() {
+		buildInfo = map[string]string{"go": "", "module": "", "revision": ""}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo["go"] = bi.GoVersion
+		buildInfo["module"] = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo["revision"] = s.Value
+			case "vcs.time":
+				buildInfo["vcsTime"] = s.Value
+			case "vcs.modified":
+				buildInfo["dirty"] = s.Value
+			}
+		}
+	})
+	return buildInfo
+}

@@ -75,6 +75,7 @@ type Server struct {
 
 	recommendations atomic.Int64
 	badRequests     atomic.Int64
+	draining        atomic.Bool              // set by StartDrain; health answers 503
 	requests        map[string]*atomic.Int64 // per-endpoint hit counters, fixed key set
 
 	// enc caches the active snapshot's pre-marshaled recommendation
@@ -275,6 +276,7 @@ func (s *Server) version(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusServiceUnavailable, "no model loaded yet")
 		return
 	}
+	body["build"] = BuildInfo()
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -344,9 +346,22 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// StartDrain flips the server into graceful drain: /healthz starts
+// answering 503 (with Retry-After) so load balancers and the cluster
+// coordinator route new traffic elsewhere, while in-flight and
+// still-arriving requests keep being served until the listener closes.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	snap := s.snapshot(w)
@@ -805,7 +820,16 @@ func decodeBasket(cat *model.Catalog, sales []saleJSON) (model.Basket, error) {
 	return basket, nil
 }
 
+// retryAfterHint is the Retry-After value attached to every 503: both
+// causes (no model promoted yet, draining for shutdown) resolve on the
+// order of seconds, and an explicit hint keeps well-behaved clients and
+// the cluster coordinator from hot-looping on an unavailable replica.
+const retryAfterHint = "1"
+
 func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterHint)
+	}
 	writeJSON(w, code, errorResponse{Error: msg})
 }
 
