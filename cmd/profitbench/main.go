@@ -65,6 +65,11 @@ func main() {
 		feedSeg     = flag.Int64("feedseg", 4<<20, "segment size in bytes for -feedbench (small enough to exercise rotation)")
 		feedOut     = flag.String("feedout", "BENCH_feedback.json", "where -feedbench writes its JSON report")
 
+		loadBench = flag.Bool("loadbench", false, "instead of the figure sweep, benchmark cold model load (v2 decode vs sealed zero-copy open) across three model sizes, enforce the O(1)-open gate and write a JSON report")
+		loadIters = flag.Int("loaditers", 5, "load repetitions timed per format and size by -loadbench")
+		loadRatio = flag.Float64("loadratio", 2, "maximum sealed-open slowdown from smallest to largest model -loadbench enforces")
+		loadOut   = flag.String("loadout", "BENCH_load.json", "where -loadbench writes its JSON report")
+
 		clusterBench = flag.Bool("clusterbench", false, "instead of the figure sweep, stand up an in-process replica fleet + coordinator, enforce the distributed tier's acceptance gates and write a JSON report")
 		clusterReqs  = flag.Int("clusterreqs", 200, "batch requests timed per tier by -clusterbench")
 		clusterRatio = flag.Float64("clusterratio", 2, "maximum coordinator/single-node batch p99 ratio -clusterbench enforces")
@@ -103,6 +108,10 @@ func main() {
 	}
 	if *feedBench {
 		runFeedBench(*feedRecords, *feedSync, *feedSeg, *seed, *feedOut)
+		return
+	}
+	if *loadBench {
+		runLoadBench(*seed, *loadIters, *loadRatio, *loadOut)
 		return
 	}
 	if *clusterBench {

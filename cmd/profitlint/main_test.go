@@ -19,8 +19,8 @@ func TestRegisteredSuite(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	want := []string{
-		"atomiczone", "detguard", "droppederr", "floatcmp", "hotpath",
-		"leakcheck", "poolescape", "rankorder", "walorder",
+		"arenaonly", "atomiczone", "detguard", "droppederr", "floatcmp",
+		"hotpath", "leakcheck", "poolescape", "rankorder", "walorder",
 	}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("registered analyzers = %v, want %v", names, want)

@@ -37,6 +37,7 @@ func main() {
 		show    = flag.Int("show", 20, "number of top rules to print")
 		demo    = flag.Int("demo", 0, "recommend-and-explain for the first N transactions")
 		save    = flag.String("save", "", "write the built model to this file (servable by profitserve)")
+		seal    = flag.String("seal", "", "write the built model as a sealed zero-copy image to this file (mmap-served by profitserve)")
 		report  = flag.Bool("report", false, "print the model summary report")
 		par     = flag.Int("parallel", 0, "build worker count (0 = one per CPU, 1 = serial; identical output either way)")
 		window  = flag.Int("window", 0, "maintain the model over a sliding window of this many transactions (0 = batch build over the whole dataset)")
@@ -121,6 +122,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("\nmodel saved to %s\n", *save)
+	}
+	if *seal != "" {
+		if err := profitmining.SealModel(*seal, ds.Catalog, rec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nsealed model written to %s\n", *seal)
 	}
 }
 

@@ -10,6 +10,8 @@
 //   - droppederr: error values are never silently discarded.
 //   - hotpath: functions annotated //hot:path (the per-request scoring
 //     pipeline) never allocate maps per call.
+//   - arenaonly: unsafe aliasing and mmap syscalls stay confined to
+//     internal/arena, the sealed format's one audited home.
 //
 // The checks run in CI via `go vet -vettool` (see cmd/profitlint) so a
 // violating change fails the build instead of surfacing as a flaky
@@ -30,6 +32,7 @@ import (
 // All returns the full profitlint suite in deterministic order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		Arenaonly,
 		Atomiczone,
 		Detguard,
 		Droppederr,

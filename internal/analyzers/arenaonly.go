@@ -1,0 +1,82 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+
+	"profitmining/internal/analysis"
+)
+
+// Arenaonly confines memory-layout trickery to its one audited home.
+// The sealed model format works by re-interpreting mapped file bytes as
+// typed slices, which is only sound under the invariants
+// internal/arena's open path checks (alignment, section bounds,
+// checksum). An unsafe cast or a raw mmap anywhere else escapes those
+// checks and turns a corrupt or truncated file into undefined behavior
+// instead of a loud load error. Outside internal/arena the analyzer
+// flags
+//
+//   - importing unsafe (any use: casts, Sizeof, Pointer arithmetic), and
+//   - calling the mapping syscalls (syscall/x-sys Mmap, Munmap,
+//     Mprotect, Madvise) — a mapping whose lifetime internal/arena does
+//     not own can be unmapped under live views.
+//
+// Test files are exempt, as is internal/arena itself. A legitimate new
+// home needs `//lint:allow arenaonly -- <why>` with a justification.
+var Arenaonly = &analysis.Analyzer{
+	Name: "arenaonly",
+	Doc:  "flags unsafe imports and mmap syscalls outside internal/arena, the one audited home of zero-copy aliasing",
+	Run:  runArenaonly,
+}
+
+// mmapSyscalls are the mapping-lifecycle entry points checked, by
+// function name within a syscall-flavoured package.
+var mmapSyscalls = map[string]bool{
+	"Mmap":     true,
+	"Munmap":   true,
+	"Mprotect": true,
+	"Madvise":  true,
+}
+
+func runArenaonly(pass *analysis.Pass) error {
+	if isArenaPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "unsafe" {
+				pass.Reportf(imp.Pos(), "arenaonly: import of unsafe outside internal/arena; zero-copy aliasing lives behind the arena's validated views (or //lint:allow arenaonly -- <why this package must alias memory>)")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if isSyscallPackage(fn.Pkg().Path()) && mmapSyscalls[fn.Name()] {
+				pass.Reportf(call.Pos(), "arenaonly: %s.%s outside internal/arena; mappings created elsewhere escape the arena's lifetime and validation (or //lint:allow arenaonly -- <why this mapping is sound>)", fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isArenaPackage reports whether path is the exempt home of unsafe and
+// mmap ("arena" covers GOPATH-style test fixtures).
+func isArenaPackage(path string) bool {
+	return path == "arena" || pkgPathMatches(path, "internal/arena")
+}
+
+// isSyscallPackage reports whether path is a syscall-flavoured package
+// providing raw mapping primitives.
+func isSyscallPackage(path string) bool {
+	return path == "syscall" || pkgPathMatches(path, "sys/unix", "x/sys/unix")
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"profitmining/internal/analysis/analysistest"
+	"profitmining/internal/analyzers"
+)
+
+func TestArenaonly(t *testing.T) {
+	// arenaonlyfix: unsafe imports and mapping syscalls caught, ordinary
+	// syscalls and a justified suppression accepted. internal/arena: the
+	// analyzer is silent inside the aliasing home package even though it
+	// imports unsafe and calls Mmap/Munmap.
+	analysistest.Run(t, "testdata", analyzers.Arenaonly, "arenaonlyfix", "internal/arena")
+}

@@ -1,0 +1,30 @@
+// Package arenaonlyfix is an arenaonly fixture: outside internal/arena,
+// importing unsafe or calling the mapping syscalls is flagged; plain
+// syscalls, and a justified suppression, are not.
+package arenaonlyfix
+
+import (
+	"syscall"
+	"unsafe" // want `arenaonly: import of unsafe outside internal/arena`
+)
+
+func escapes(fd int, b []byte) ([]byte, error) {
+	data, err := syscall.Mmap(fd, 0, 64, syscall.PROT_READ, syscall.MAP_SHARED) // want `arenaonly: syscall.Mmap outside internal/arena`
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Munmap(data); err != nil { // want `arenaonly: syscall.Munmap outside internal/arena`
+		return nil, err
+	}
+	p := unsafe.Pointer(&b[0])
+	return unsafe.Slice((*byte)(p), len(b)), nil
+}
+
+func legitimate(fd int) error {
+	// Non-mapping syscalls are ordinary I/O, not aliasing.
+	return syscall.Close(fd)
+}
+
+func suppressed(b []byte) error {
+	return syscall.Munmap(b) //lint:allow arenaonly -- fixture: tearing down a mapping inherited from a test harness
+}

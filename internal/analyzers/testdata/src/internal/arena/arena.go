@@ -1,0 +1,22 @@
+// Package arena is a miniature stand-in for profitmining/internal/arena
+// used by the analyzer fixtures: because this package IS the audited
+// home of zero-copy aliasing, arenaonly must stay silent about the
+// unsafe import and the mapping syscalls below.
+package arena
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+func mapFile(fd, size int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmap(b []byte) error {
+	return syscall.Munmap(b)
+}
+
+func aliasBytes(b []byte) []int32 {
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

@@ -1,0 +1,18 @@
+//go:build pm_nommap || (!linux && !darwin)
+
+package arena
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapAvailable is false in this build: OpenFile always takes the
+// pure-Go ReadFile path.
+const mmapAvailable = false
+
+var errNoMmap = errors.New("arena: mmap not available in this build")
+
+func mmapFile(*os.File, int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapBytes([]byte) error { return nil }

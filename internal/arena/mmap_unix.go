@@ -1,0 +1,24 @@
+//go:build (linux || darwin) && !pm_nommap
+
+package arena
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapAvailable reports whether this build can memory-map sealed
+// files. The pm_nommap build tag forces the pure-Go ReadFile fallback
+// everywhere (Options.NoMmap does the same per call at runtime).
+const mmapAvailable = true
+
+// mmapFile maps size bytes of f read-only and shared, so every process
+// serving the same sealed model shares one set of physical pages.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapBytes releases a mapping created by mmapFile.
+func munmapBytes(b []byte) error {
+	return syscall.Munmap(b)
+}

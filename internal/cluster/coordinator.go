@@ -185,7 +185,7 @@ func (c *Coordinator) SetReplicas(names []string) {
 // the distribution key: replicas compare it against their active
 // snapshot and pull only when it changes.
 func (c *Coordinator) SetModel(data []byte) string {
-	blob := &modelBlob{data: append([]byte(nil), data...), hash: hashBytes(data)}
+	blob := &modelBlob{data: append([]byte(nil), data...), hash: modelHash(data)}
 	c.model.Store(blob)
 	c.logf("cluster: distributing model %.8s (%d bytes)", blob.hash, len(blob.data))
 	return blob.hash

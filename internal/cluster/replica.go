@@ -257,7 +257,7 @@ func (r *Replica) SyncModel(ctx context.Context) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("cluster: reading model body: %w", err)
 	}
-	hash := hashBytes(data)
+	hash := modelHash(data)
 	if claimed := resp.Header.Get(modelHashHeader); claimed != "" && claimed != hash {
 		return false, fmt.Errorf("cluster: model hash mismatch: coordinator claims %.8s, body hashes to %.8s", claimed, hash)
 	}
@@ -268,7 +268,9 @@ func (r *Replica) SyncModel(ctx context.Context) (bool, error) {
 		// Already pulled and awaiting shadow promotion; don't re-stage.
 		return false, nil
 	}
-	cat, rec, err := modelio.Load(bytes.NewReader(data))
+	// Sealed images open zero-copy (verified against the same checksum
+	// the hash above came from); JSON models decode as before.
+	cat, rec, err := modelio.LoadBytes(data)
 	if err != nil {
 		return false, fmt.Errorf("cluster: decoding pulled model %.8s: %w", hash, err)
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"profitmining/internal/arena"
 	"profitmining/internal/hierarchy"
 	"profitmining/internal/mining"
 	"profitmining/internal/model"
@@ -82,6 +83,14 @@ type Recommender struct {
 	tree    *Node
 	stats   BuildStats
 
+	// sealed, when non-nil, marks an arena-backed recommender
+	// (FromSealed): every field above except stats is nil, and the
+	// recommend paths walk the arena's index-based views instead. exp
+	// caches the arena's expansion view so the hot path does not
+	// re-derive it per call.
+	sealed *arena.Model
+	exp    hierarchy.Expansions
+
 	// alternates holds, per target item, the non-dominated rules for that
 	// item alone. RecommendTopK uses it to offer a distinct best rule per
 	// item even when global MPF domination kept only one head per body.
@@ -114,6 +123,13 @@ type scratch struct {
 	bestPerItem []*rules.Rule
 	touched     []model.ItemID
 	rest        []*rules.Rule
+
+	// Sealed-mode twins: rule-table indices instead of pointers. bestIdx
+	// stores index+1 so the zero value means empty; only the mode a
+	// recommender runs in allocates its table (see FromSealed/assemble).
+	matchIdx []int32
+	bestIdx  []int32
+	restIdx  []int32
 }
 
 func (r *Recommender) getScratch() *scratch {
@@ -135,6 +151,12 @@ type Recommendation struct {
 	Promo model.PromoID
 	Rule  *rules.Rule
 	ID    string
+
+	// Idx is the fired rule's arena rule-table index when the recommender
+	// is sealed (Rule is nil then); -1 otherwise. The serving layer uses
+	// it to fetch the pre-marshaled recommendation blob without touching
+	// heap rule objects.
+	Idx int32
 }
 
 // Build constructs the recommender from mined rules over the same space
@@ -280,15 +302,47 @@ func Restore(space *hierarchy.Space, root *Node, alternates []*rules.Rule, gener
 	}
 	final := collectRules(root)
 	rules.SortByRank(final)
+	// The serialized form stores alternates by value, so a rule that is
+	// both in the tree and a per-item alternate decodes as two objects.
+	// Build shares one pointer for both roles, and Explain's lineage
+	// lookup is keyed by pointer — re-alias such alternates to the
+	// tree's object so a restored model explains (and re-seals)
+	// identically to the model that was saved.
+	byID := make(map[string]*rules.Rule, len(final))
+	for _, rule := range final {
+		byID[rules.StableID(space, rule)] = rule
+	}
+	for i, rule := range alternates {
+		if shared, ok := byID[rules.StableID(space, rule)]; ok {
+			alternates[i] = shared
+		}
+	}
 	return assemble(space, root, final, alternates, generated, nonDominated), nil
 }
 
 // Alternates returns the per-item alternate rules backing RecommendTopK,
-// for persistence. The slice must not be modified.
+// for persistence. The slice must not be modified. Sealed recommenders
+// return nil: their alternates live in the arena's rule table.
 func (r *Recommender) Alternates() []*rules.Rule {
+	if r.sealed != nil {
+		return nil
+	}
 	var out []*rules.Rule
 	r.alternates.MatchAllRules(func(rule *rules.Rule) { out = append(out, rule) })
 	return out
+}
+
+// MatcherViews exposes the flattened trie layouts of the final-rule
+// matcher and the per-item alternates matcher, for model sealing. ok is
+// false for sealed recommenders (nothing to re-seal) or when a matcher
+// was unsealed by a post-build Insert.
+func (r *Recommender) MatcherViews() (main, alt rules.TrieView, ok bool) {
+	if r.sealed != nil {
+		return rules.TrieView{}, rules.TrieView{}, false
+	}
+	main, ok1 := r.matcher.TrieView()
+	alt, ok2 := r.alternates.TrieView()
+	return main, alt, ok1 && ok2
 }
 
 func depth(n *Node) int {
@@ -311,6 +365,9 @@ func depth(n *Node) int {
 //
 //hot:path
 func (r *Recommender) Recommend(basket model.Basket) Recommendation {
+	if r.sealed != nil {
+		return r.recommendSealed(basket)
+	}
 	sc := r.getScratch()
 	sc.expanded = r.space.ExpandBasketInto(sc.expanded, basket)
 	best := r.matcher.Best(sc.expanded)
@@ -338,6 +395,9 @@ func (r *Recommender) RecommendTopK(basket model.Basket, k int) []Recommendation
 //
 //hot:path
 func (r *Recommender) RecommendTopKInto(dst []Recommendation, basket model.Basket, k int) []Recommendation {
+	if r.sealed != nil {
+		return r.recommendTopKIntoSealed(dst, basket, k)
+	}
 	dst = dst[:0]
 	if k <= 0 {
 		return dst
@@ -392,6 +452,7 @@ func (r *Recommender) toRecommendation(rule *rules.Rule) Recommendation {
 		Promo: r.space.PromoOf(rule.Head),
 		Rule:  rule,
 		ID:    r.RuleID(rule),
+		Idx:   -1,
 	}
 }
 
@@ -401,6 +462,9 @@ func (r *Recommender) toRecommendation(rule *rules.Rule) Recommendation {
 func (r *Recommender) RuleID(rule *rules.Rule) string {
 	if id, ok := r.ids[rule]; ok {
 		return id
+	}
+	if rule == nil || r.space == nil {
+		return ""
 	}
 	return rules.StableID(r.space, rule)
 }
@@ -424,6 +488,9 @@ func (r *Recommender) Tree() *Node { return r.tree }
 // index lookup; rules outside the tree (per-item alternates from
 // RecommendTopK) explain without a lineage, exactly as before.
 func (r *Recommender) Explain(rec Recommendation) []string {
+	if r.sealed != nil {
+		return r.explainSealed(rec)
+	}
 	node := r.ruleNode[rec.Rule]
 
 	var out []string

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"profitmining/internal/arena"
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/model"
+)
+
+// FromSealed wraps an opened sealed arena as a Recommender. Nothing is
+// decoded and nothing per-rule or per-item happens here: the
+// recommender serves straight off the arena's index-based views, so
+// construction is O(1) in model size (even the heap catalog stays
+// unmaterialized until someone asks for it). The recommender keeps the
+// arena's mapping alive; callers own the arena's lifetime (registry
+// snapshots close it on drain).
+func FromSealed(m *arena.Model) (*Recommender, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil sealed model")
+	}
+	meta := m.Meta()
+	r := &Recommender{
+		sealed: m,
+		exp:    m.Expansions(),
+		stats: BuildStats{
+			RulesGenerated:    meta.Generated,
+			RulesNonDominated: meta.NonDominated,
+			RulesFinal:        meta.NumFinal,
+			ProjectedProfit:   meta.ProjectedProfit,
+			TreeDepth:         meta.TreeDepth,
+		},
+	}
+	numItems := meta.NumItems
+	r.scratch.New = func() any {
+		return &scratch{bestIdx: make([]int32, numItems+1)}
+	}
+	return r, nil
+}
+
+// Sealed returns the backing arena model, or nil for a heap-backed
+// recommender. The serving layer branches on it to serve pre-marshaled
+// recommendation blobs straight from the mapping.
+func (r *Recommender) Sealed() *arena.Model { return r.sealed }
+
+// Catalog returns the catalog the recommender serves against — the
+// space's catalog when heap-backed, the arena's lazily materialized one
+// when sealed. Every serving path reaches a sealed recommender through
+// modelio's verified open, which materializes (or rejects) the catalog
+// before the recommender escapes, so the error is already screened
+// here; a nil return is only reachable on a recommender built around an
+// unverified, corrupt arena.
+func (r *Recommender) Catalog() *model.Catalog {
+	if r.sealed != nil {
+		cat, _ := r.sealed.Catalog() //lint:allow droppederr -- screened by modelio's verified open; see doc comment
+		return cat
+	}
+	return r.space.Catalog()
+}
+
+// recommendSealed is the sealed twin of Recommend: the identical
+// expansion merge and trie walk, carrying a rule-table index instead of
+// a *rules.Rule.
+//
+//hot:path
+func (r *Recommender) recommendSealed(basket model.Basket) Recommendation {
+	sc := r.getScratch()
+	sc.expanded = r.exp.ExpandBasketInto(sc.expanded, basket)
+	best := r.bestSealed(sc.expanded)
+	rec := r.toRecommendationSealed(best)
+	r.putScratch(sc)
+	return rec
+}
+
+// bestSealed returns the table index of the highest-ranked matching
+// rule, or -1 (impossible for a valid model: the default rule matches
+// every basket).
+//
+//hot:path
+func (r *Recommender) bestSealed(xs []hierarchy.GenID) int32 {
+	t := r.sealed.Trie()
+	rt := r.sealed.Rules()
+	best := int32(-1)
+	for _, d := range t.Defaults {
+		if best < 0 || rt.Outranks(d, best) {
+			best = d
+		}
+	}
+	return bestWalkIdx(t, rt, 0, t.RootHi, xs, best)
+}
+
+// bestWalkIdx is flatTrie.bestWalk over arena views: the same
+// two-pointer subset walk, comparing table indices with the sealed
+// rank columns.
+//
+//hot:path
+func bestWalkIdx(t *arena.Trie, rt *arena.RuleTable, lo, hi int32, xs []hierarchy.GenID, best int32) int32 {
+	ni, xi := lo, 0
+	for ni < hi && xi < len(xs) {
+		switch {
+		case t.Item[ni] < xs[xi]:
+			ni++
+		case t.Item[ni] > xs[xi]:
+			xi++
+		default:
+			for ri := t.RuleLo[ni]; ri < t.RuleHi[ni]; ri++ {
+				if cand := t.Rules[ri]; best < 0 || rt.Outranks(cand, best) {
+					best = cand
+				}
+			}
+			if t.ChildLo[ni] < t.ChildHi[ni] {
+				best = bestWalkIdx(t, rt, t.ChildLo[ni], t.ChildHi[ni], xs[xi+1:], best)
+			}
+			ni++
+			xi++
+		}
+	}
+	return best
+}
+
+// appendMatchesIdx is Matcher.AppendMatches over the sealed alternates
+// trie: defaults first, then the subset walk, appending table indices.
+//
+//hot:path
+func appendMatchesIdx(t *arena.Trie, dst []int32, xs []hierarchy.GenID) []int32 {
+	dst = append(dst, t.Defaults...)
+	return appendWalkIdx(t, 0, t.RootHi, xs, dst)
+}
+
+//hot:path
+func appendWalkIdx(t *arena.Trie, lo, hi int32, xs []hierarchy.GenID, dst []int32) []int32 {
+	ni, xi := lo, 0
+	for ni < hi && xi < len(xs) {
+		switch {
+		case t.Item[ni] < xs[xi]:
+			ni++
+		case t.Item[ni] > xs[xi]:
+			xi++
+		default:
+			dst = append(dst, t.Rules[t.RuleLo[ni]:t.RuleHi[ni]]...)
+			if t.ChildLo[ni] < t.ChildHi[ni] {
+				dst = appendWalkIdx(t, t.ChildLo[ni], t.ChildHi[ni], xs[xi+1:], dst)
+			}
+			ni++
+			xi++
+		}
+	}
+	return dst
+}
+
+// recommendTopKIntoSealed mirrors RecommendTopKInto step for step: MPF
+// winner first, then the best alternate per remaining target item in
+// rank order, with the dense best-per-item table holding index+1 so the
+// zero value means empty.
+//
+//hot:path
+func (r *Recommender) recommendTopKIntoSealed(dst []Recommendation, basket model.Basket, k int) []Recommendation {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
+	sc := r.getScratch()
+	sc.expanded = r.exp.ExpandBasketInto(sc.expanded, basket)
+	first := r.bestSealed(sc.expanded)
+	dst = append(dst, r.toRecommendationSealed(first))
+	if k == 1 || first < 0 {
+		r.putScratch(sc)
+		return dst
+	}
+
+	rt := r.sealed.Rules()
+	firstItem := rt.HeadItem[first]
+	sc.matchIdx = appendMatchesIdx(r.sealed.Alternates(), sc.matchIdx[:0], sc.expanded)
+	sc.touched = sc.touched[:0]
+	for _, ri := range sc.matchIdx {
+		item := rt.HeadItem[ri]
+		if item == firstItem {
+			continue
+		}
+		if cur := sc.bestIdx[item]; cur == 0 {
+			sc.bestIdx[item] = ri + 1
+			sc.touched = append(sc.touched, model.ItemID(item))
+		} else if rt.Outranks(ri, cur-1) {
+			sc.bestIdx[item] = ri + 1
+		}
+	}
+	sc.restIdx = sc.restIdx[:0]
+	for _, item := range sc.touched {
+		sc.restIdx = append(sc.restIdx, sc.bestIdx[item]-1)
+		sc.bestIdx[item] = 0
+	}
+	sortRankedIdx(rt, sc.restIdx)
+	for _, ri := range sc.restIdx {
+		dst = append(dst, r.toRecommendationSealed(ri))
+		if len(dst) == k {
+			break
+		}
+	}
+	r.putScratch(sc)
+	return dst
+}
+
+// sortRankedIdx is rules.SortRanked over table indices: a stable
+// insertion sort under the total Outranks order, so the result is
+// element-for-element identical to the heap path's. The rest list is
+// one rule per distinct target item — small — so insertion sort beats
+// an allocation-prone comparator sort here.
+//
+//hot:path
+func sortRankedIdx(rt *arena.RuleTable, v []int32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && rt.Outranks(v[j], v[j-1]); j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// toRecommendationSealed builds the Recommendation for table index i.
+// Rule stays nil in sealed mode; Idx carries the identity instead, and
+// ID is a zero-copy string over the mapped ID pool.
+//
+//hot:path
+func (r *Recommender) toRecommendationSealed(i int32) Recommendation {
+	if i < 0 {
+		return Recommendation{Idx: -1}
+	}
+	rt := r.sealed.Rules()
+	return Recommendation{
+		Item:  model.ItemID(rt.HeadItem[i]),
+		Promo: model.PromoID(rt.HeadPromo[i]),
+		ID:    rt.ID(i),
+		Idx:   i,
+	}
+}
+
+// explainSealed returns the explanation lines rendered at seal time —
+// the same covering-tree lineage Explain computes live, split back out
+// of the arena's joined form.
+func (r *Recommender) explainSealed(rec Recommendation) []string {
+	if rec.Idx < 0 {
+		return nil
+	}
+	return strings.Split(r.sealed.Rules().ExplainJoined(rec.Idx), "\n")
+}

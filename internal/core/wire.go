@@ -1,0 +1,72 @@
+package core
+
+import (
+	"encoding/json"
+
+	"profitmining/internal/model"
+)
+
+// WireRecommendation is the serving wire shape of one scored
+// recommendation — the object POST /recommend returns per slot. It
+// lives in core (not the HTTP layer) because model sealing pre-marshals
+// these objects into the arena blob pool, and the sealed bytes must be
+// byte-identical to what the live encoder would produce. Field order is
+// part of the wire contract; do not reorder.
+type WireRecommendation struct {
+	Item    string   `json:"item"`
+	PromoIx int      `json:"promoIx"`
+	Price   float64  `json:"price"`
+	Cost    float64  `json:"cost"`
+	Packing float64  `json:"packing"`
+	Profit  float64  `json:"profitPerSale"`
+	ProfRe  float64  `json:"profRe"`
+	Conf    float64  `json:"confidence"`
+	RuleID  string   `json:"ruleID"`
+	Rule    string   `json:"rule"`
+	Explain []string `json:"explain,omitempty"`
+}
+
+// PromoIndex maps a promo ID back to its wire-format index within its
+// item's ladder (-1 if absent, which cannot happen for a valid model).
+func PromoIndex(cat *model.Catalog, item model.ItemID, promo model.PromoID) int {
+	for i, pid := range cat.Promos(item) {
+		if pid == promo {
+			return i
+		}
+	}
+	return -1
+}
+
+// EncodeWire renders one recommendation of a heap-backed recommender
+// against its catalog. Every field is a function of the fired rule
+// alone, which is what lets both the serving blob cache and the sealed
+// arena precompute the marshaled form per rule.
+func EncodeWire(cat *model.Catalog, r *Recommender, rec Recommendation) WireRecommendation {
+	promo := cat.Promo(rec.Promo)
+	return WireRecommendation{
+		Item:    cat.Item(rec.Item).Name,
+		PromoIx: PromoIndex(cat, rec.Item, rec.Promo),
+		Price:   promo.Price,
+		Cost:    promo.Cost,
+		Packing: promo.Packing,
+		Profit:  promo.Profit(),
+		ProfRe:  rec.Rule.ProfRe(),
+		Conf:    rec.Rule.Conf(),
+		RuleID:  r.RuleID(rec.Rule),
+		Rule:    rec.Rule.String(r.Space()),
+		Explain: r.Explain(rec),
+	}
+}
+
+// MarshalWire is EncodeWire followed by json.Marshal, degrading one
+// slot (never the whole response) on a pathological value.
+func MarshalWire(cat *model.Catalog, r *Recommender, rec Recommendation) json.RawMessage {
+	data, err := json.Marshal(EncodeWire(cat, r, rec))
+	if err != nil {
+		// Unreachable for validated models (plain strings and finite
+		// floats); kept so a pathological value degrades one slot, not
+		// the whole response.
+		return json.RawMessage(`{"error":"unencodable recommendation"}`)
+	}
+	return data
+}

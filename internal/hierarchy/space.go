@@ -1,7 +1,6 @@
 package hierarchy
 
 import (
-	"slices"
 	"sort"
 
 	"profitmining/internal/model"
@@ -26,10 +25,12 @@ type Space struct {
 	itemNode  []GenID // by ItemID
 	promoNode []GenID // by PromoID
 
-	// saleExpansion[promoID] lists every generalized sale of a sale under
-	// that promotion code, sorted ascending, excluding the root (ANY
-	// carries no information: it generalizes everything).
-	saleExpansion [][]GenID
+	// exp pools, per promotion code, every generalized sale of a sale
+	// under that code, sorted ascending, excluding the root (ANY carries
+	// no information: it generalizes everything). The pooled offset form
+	// is shared with sealed arena models, so both expand baskets through
+	// the same merge code.
+	exp Expansions
 
 	// headsOf[promoID], for promos of target items, lists every head
 	// ⟨I,P⟩ that generalizes a target sale under that promo (P ⪯ promo),
@@ -42,7 +43,7 @@ type Space struct {
 
 func (s *Space) buildExpansions() {
 	cat := s.catalog
-	s.saleExpansion = make([][]GenID, cat.NumPromos()+1)
+	saleExpansion := make([][]GenID, cat.NumPromos()+1)
 	s.headsOf = make([][]GenID, cat.NumPromos()+1)
 
 	for _, it := range cat.Items() {
@@ -55,11 +56,11 @@ func (s *Space) buildExpansions() {
 					exp = append(exp, a)
 				}
 			}
-			s.saleExpansion[pid] = sorted(exp)
+			saleExpansion[pid] = sorted(exp)
 
 			if it.Target {
 				var heads []GenID
-				for _, g := range s.saleExpansion[pid] {
+				for _, g := range saleExpansion[pid] {
 					if s.kind[g] == KindItemPromo {
 						heads = append(heads, g)
 					}
@@ -68,6 +69,7 @@ func (s *Space) buildExpansions() {
 			}
 		}
 	}
+	s.exp = PackExpansions(saleExpansion)
 
 	for g := range s.kind {
 		id := GenID(g)
@@ -145,8 +147,12 @@ func (s *Space) Comparable(a, b GenID) bool {
 // ascending and excluding the root. The returned slice must not be
 // modified.
 func (s *Space) ExpandSale(sale model.Sale) []GenID {
-	return s.saleExpansion[sale.Promo]
+	return s.exp.Of(sale.Promo)
 }
+
+// Expansions returns the pooled per-promotion expansion lists — the
+// layout model sealing persists verbatim. Must not be modified.
+func (s *Space) Expansions() Expansions { return s.exp }
 
 // ExpandBasket returns the sorted, deduplicated union of the expansions of
 // the given sales — the set of all generalized sales the basket supports.
@@ -156,112 +162,19 @@ func (s *Space) ExpandBasket(sales []model.Sale) []GenID {
 	}
 	var total int
 	for _, sl := range sales {
-		total += len(s.saleExpansion[sl.Promo])
+		total += len(s.exp.Of(sl.Promo))
 	}
 	return s.ExpandBasketInto(make([]GenID, 0, total), sales)
 }
 
-// maxMergeWays is the widest basket the cursor-based k-way merge of
-// ExpandBasketInto handles with stack-resident cursors. Wider baskets
-// fall back to gather-sort-dedup, which stays allocation-free as long
-// as dst has capacity.
-const maxMergeWays = 16
-
 // ExpandBasketInto is ExpandBasket writing into dst's backing storage —
 // the serving hot path calls it once per request with a pooled buffer.
-// Each ⟨item, promo⟩ leaf has a fixed, sorted ancestor expansion
-// precomputed at space-compile time (saleExpansion), so expanding a
-// basket is a k-way merge of k precomputed sorted lists: no per-call
-// sort, no dedup pass, no allocation once dst has grown to a basket's
-// steady-state size. The result is byte-identical to ExpandBasket.
+// The merge itself lives on Expansions so compiled spaces and sealed
+// arena models share it; the result is byte-identical to ExpandBasket.
 //
 //hot:path
 func (s *Space) ExpandBasketInto(dst []GenID, sales []model.Sale) []GenID {
-	dst = dst[:0]
-	switch len(sales) {
-	case 0:
-		return dst
-	case 1:
-		return append(dst, s.saleExpansion[sales[0].Promo]...)
-	}
-	if len(sales) <= maxMergeWays {
-		// k-way merge over the unconsumed suffixes of the k lists:
-		// repeatedly emit the smallest head and advance every list
-		// sitting on it (which also deduplicates — shared ancestors
-		// appear in several lists). Exhausted lists are swap-removed so
-		// k shrinks, and the final survivor is appended wholesale — the
-		// common case once the per-item tails diverge.
-		var lists [maxMergeWays][]GenID
-		k := 0
-		for i := range sales {
-			if e := s.saleExpansion[sales[i].Promo]; len(e) > 0 {
-				lists[k] = e
-				k++
-			}
-		}
-		for k > 1 {
-			if k == 2 {
-				return merge2(dst, lists[0], lists[1])
-			}
-			min := lists[0][0]
-			for i := 1; i < k; i++ {
-				if h := lists[i][0]; h < min {
-					min = h
-				}
-			}
-			dst = append(dst, min)
-			for i := 0; i < k; {
-				if lists[i][0] == min {
-					if lists[i] = lists[i][1:]; len(lists[i]) == 0 {
-						k--
-						lists[i] = lists[k]
-						continue
-					}
-				}
-				i++
-			}
-		}
-		if k == 1 {
-			dst = append(dst, lists[0]...)
-		}
-		return dst
-	}
-	// Gather, sort, dedup in place — still allocation-free given capacity.
-	for _, sl := range sales {
-		dst = append(dst, s.saleExpansion[sl.Promo]...)
-	}
-	slices.Sort(dst)
-	w := 0
-	for i, g := range dst {
-		if i == 0 || g != dst[w-1] {
-			dst[w] = g
-			w++
-		}
-	}
-	return dst[:w]
-}
-
-// merge2 appends the sorted-set union of two sorted lists to dst.
-//
-//hot:path
-func merge2(dst []GenID, a, b []GenID) []GenID {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			dst = append(dst, a[i])
-			i++
-		case a[i] > b[j]:
-			dst = append(dst, b[j])
-			j++
-		default:
-			dst = append(dst, a[i])
-			i++
-			j++
-		}
-	}
-	dst = append(dst, a[i:]...)
-	return append(dst, b[j:]...)
+	return s.exp.ExpandBasketInto(dst, sales)
 }
 
 // HeadsOf returns every recommendation head ⟨I,P⟩ that generalizes the

@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 
+	"profitmining/internal/arena"
 	"profitmining/internal/core"
 	"profitmining/internal/dataio"
 	"profitmining/internal/hierarchy"
@@ -228,24 +229,45 @@ func verifyHeader(mf *modelFile) error {
 	return nil
 }
 
-// VerifyFile is the path-based form of Verify.
+// VerifyFile is the path-based form of Verify. Sealed (v3) files are
+// sniffed by magic and verified with their whole-file checksum.
 func VerifyFile(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if sniffSealed(f) {
+		m, err := arena.OpenFile(path, arena.Options{})
+		if err != nil {
+			return err
+		}
+		defer m.Arena().Close()
+		return m.Verify()
+	}
 	return Verify(f)
 }
 
-// LoadFile reads a model file from disk.
+// LoadFile reads a model file of any format from disk: sealed (v3)
+// files open by mmap, v1/v2 decode as JSON.
 func LoadFile(path string) (*model.Catalog, *core.Recommender, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
+	if sniffSealed(f) {
+		f.Close()
+		return OpenSealed(path, arena.Options{})
+	}
 	defer f.Close()
 	return Load(f)
+}
+
+// sniffSealed peeks the magic at the start of f and rewinds.
+func sniffSealed(f *os.File) bool {
+	var prefix [arena.HeaderPrefixLen]byte
+	n, _ := f.ReadAt(prefix[:], 0) //lint:allow droppederr -- a short or failed read simply fails the sniff; the JSON path reports the real error
+	return arena.SniffMagic(prefix[:n])
 }
 
 type encoder struct {

@@ -1,0 +1,8 @@
+//go:build race
+
+package modelio
+
+// raceEnabled reports whether the race detector instruments this build.
+// Its runtime allocates bookkeeping on paths that are allocation-free
+// in normal builds, so exact allocs/op assertions only hold without it.
+const raceEnabled = true

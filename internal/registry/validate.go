@@ -39,6 +39,9 @@ func Validate(cat *model.Catalog, rec *core.Recommender, probes []Probe) error {
 	}
 	space := rec.Space()
 	if space == nil {
+		if rec.Sealed() != nil {
+			return validateSealed(cat, rec, probes)
+		}
 		return fmt.Errorf("registry: candidate recommender has no generalization space")
 	}
 	if space.Catalog() != cat {
@@ -59,6 +62,45 @@ func Validate(cat *model.Catalog, rec *core.Recommender, probes []Probe) error {
 		}
 	}
 
+	for i, p := range probes {
+		if err := runProbe(cat, rec, p); err != nil {
+			return fmt.Errorf("registry: golden probe %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// validateSealed is the gate for arena-backed candidates. Structural
+// integrity was already enforced twice before a sealed model reaches
+// here — arena.Open bounds-checks every section and Verify ran the
+// whole-file checksum at load — so the per-rule reference walk of the
+// heap path reduces to one O(rules) pass over the head columns (bodies
+// are interned IDs whose reachable range the open-time trie and
+// expansion checks bound).
+func validateSealed(cat *model.Catalog, rec *core.Recommender, probes []Probe) error {
+	sm := rec.Sealed()
+	if rec.Catalog() != cat {
+		return fmt.Errorf("registry: sealed candidate was opened with a different catalog")
+	}
+	if rec.Stats().RulesFinal == 0 || sm.Rules().N() == 0 {
+		return fmt.Errorf("registry: candidate has an empty final rule list")
+	}
+	rt := sm.Rules()
+	for i := 0; i < rt.N(); i++ {
+		item, promo := model.ItemID(rt.HeadItem[i]), model.PromoID(rt.HeadPromo[i])
+		if item < 1 || int(item) > cat.NumItems() {
+			return fmt.Errorf("registry: sealed rule %d: head references unknown item %d", i, item)
+		}
+		if promo < 1 || int(promo) > cat.NumPromos() {
+			return fmt.Errorf("registry: sealed rule %d: head references unknown promo %d", i, promo)
+		}
+		if p := cat.Promo(promo); p.Item != item {
+			return fmt.Errorf("registry: sealed rule %d: head promo %d belongs to item %d, not %d", i, promo, p.Item, item)
+		}
+		if !cat.Item(item).Target {
+			return fmt.Errorf("registry: sealed rule %d: head recommends non-target item %q", i, cat.Item(item).Name)
+		}
+	}
 	for i, p := range probes {
 		if err := runProbe(cat, rec, p); err != nil {
 			return fmt.Errorf("registry: golden probe %d: %w", i, err)

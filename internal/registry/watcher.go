@@ -10,6 +10,9 @@ import (
 	"sync"
 	"time"
 
+	"profitmining/internal/arena"
+	"profitmining/internal/core"
+	"profitmining/internal/model"
 	"profitmining/internal/modelio"
 )
 
@@ -106,6 +109,13 @@ func (w *Watcher) Check() (*Snapshot, Outcome, error) {
 		// last read: any later write would have bumped the mtime.
 		return nil, Unchanged, nil
 	}
+	// Sealed models carry their content hash in the first 48 bytes, so
+	// identifying one costs a header read per changed stat, not a
+	// whole-file hashing pass.
+	if hash, ok := w.sealedHeaderHash(); ok {
+		return w.checkSealed(info, hash)
+	}
+
 	data, err := os.ReadFile(w.path)
 	if err != nil {
 		return nil, Rejected, fmt.Errorf("read model file: %w", err)
@@ -116,27 +126,10 @@ func (w *Watcher) Check() (*Snapshot, Outcome, error) {
 
 	sum := sha256.Sum256(data)
 	hash := hex.EncodeToString(sum[:])
-	activeVer := 0
-	if a := w.reg.Active(); a != nil {
-		activeVer = a.Version
-		if hash == a.Hash {
-			// The file holds exactly the bytes being served (e.g. an
-			// in-process refresh promoted them); nothing to resubmit.
-			w.lastHash, w.lastRejected, w.lastHashActive = hash, false, activeVer
-			return nil, Unchanged, nil
-		}
-	}
-	if st := w.reg.Staged(); st != nil && hash == st.Hash {
-		w.lastHash, w.lastRejected, w.lastHashActive = hash, false, activeVer
+	activeVer, unchanged := w.dedupHash(hash)
+	if unchanged {
 		return nil, Unchanged, nil
 	}
-	if hash == w.lastHash && (!w.lastRejected || activeVer == w.lastHashActive) {
-		// Same bytes as last poll. An accepted memo stands on its own; a
-		// rejection memo only holds while the active version it was made
-		// against is still serving — gate rejections are state-dependent.
-		return nil, Unchanged, nil
-	}
-	w.lastHash = hash
 
 	cat, rec, err := modelio.Load(bytes.NewReader(data))
 	if err != nil {
@@ -144,10 +137,92 @@ func (w *Watcher) Check() (*Snapshot, Outcome, error) {
 		w.logf("registry: candidate %s (%.8s) rejected: %v", w.path, hash, err)
 		return nil, Rejected, fmt.Errorf("load candidate: %w", err)
 	}
+	return w.submit(cat, rec, hash)
+}
+
+// checkSealed stages a sealed model file: dedup by the embedded header
+// checksum, then mmap-open and fully verify once per new content hash.
+func (w *Watcher) checkSealed(info os.FileInfo, hash string) (*Snapshot, Outcome, error) {
+	// The header read replaces the whole-file read of the JSON path; the
+	// stat memo carries the same raced-writer caveat, covered the same
+	// way (mtimeSlack re-reads until the tick has safely passed).
+	w.lastMod, w.lastSize, w.lastReadAt = info.ModTime(), info.Size(), time.Now()
+
+	activeVer, unchanged := w.dedupHash(hash)
+	if unchanged {
+		return nil, Unchanged, nil
+	}
+	cat, rec, err := modelio.OpenSealed(w.path, arena.Options{})
+	if err != nil {
+		// A failed open or checksum may be a torn write we raced: the
+		// finished file would carry this same header hash, so a memo
+		// keyed on it would reject the finished file forever. Re-key the
+		// rejection on the true content bytes; if the writer has since
+		// finished, the next poll sees a hash the memo does not cover.
+		if data, rerr := os.ReadFile(w.path); rerr == nil {
+			sum := sha256.Sum256(data)
+			w.lastHash = hex.EncodeToString(sum[:])
+		} else {
+			w.lastHash = ""
+		}
+		w.lastRejected, w.lastHashActive = true, activeVer
+		w.logf("registry: candidate %s (%.8s) rejected: %v", w.path, hash, err)
+		return nil, Rejected, fmt.Errorf("load sealed candidate: %w", err)
+	}
+	return w.submit(cat, rec, hash)
+}
+
+// sealedHeaderHash reads the fixed header prefix and returns the
+// embedded content hash if the file is a sealed model.
+func (w *Watcher) sealedHeaderHash() (string, bool) {
+	f, err := os.Open(w.path)
+	if err != nil {
+		return "", false
+	}
+	defer f.Close()
+	var prefix [arena.HeaderPrefixLen]byte
+	n, _ := f.ReadAt(prefix[:], 0) //lint:allow droppederr -- a short or failed read fails HeaderHash below, which routes to the JSON path's full error handling
+	hash, err := arena.HeaderHash(prefix[:n])
+	if err != nil {
+		// Bad magic: not sealed. Sealed magic with a damaged header: let
+		// the JSON path read and reject it, memoized by content hash.
+		return "", false
+	}
+	return hash, true
+}
+
+// dedupHash runs the shared memo logic for a freshly determined content
+// hash: already-serving and already-staged bytes are Unchanged, as is a
+// standing memo (rejections only hold while the active version they
+// were made against still serves — gate rejections are state-dependent).
+// Otherwise the hash is memoized as in-progress and the caller loads.
+func (w *Watcher) dedupHash(hash string) (activeVer int, unchanged bool) {
+	if a := w.reg.Active(); a != nil {
+		activeVer = a.Version
+		if hash == a.Hash {
+			// The file holds exactly the bytes being served (e.g. an
+			// in-process refresh promoted them); nothing to resubmit.
+			w.lastHash, w.lastRejected, w.lastHashActive = hash, false, activeVer
+			return activeVer, true
+		}
+	}
+	if st := w.reg.Staged(); st != nil && hash == st.Hash {
+		w.lastHash, w.lastRejected, w.lastHashActive = hash, false, activeVer
+		return activeVer, true
+	}
+	if hash == w.lastHash && (!w.lastRejected || activeVer == w.lastHashActive) {
+		return activeVer, true
+	}
+	w.lastHash = hash
+	return activeVer, false
+}
+
+// submit feeds a loaded candidate through the registry and memoizes the
+// outcome against the post-Submit active version: when this very Submit
+// promoted the candidate, the memo must not read our own promotion as
+// an invalidation on the next poll.
+func (w *Watcher) submit(cat *model.Catalog, rec *core.Recommender, hash string) (*Snapshot, Outcome, error) {
 	snap, outcome, err := w.reg.Submit(cat, rec, w.path, hash)
-	// Memoize against the post-Submit active version: when this very
-	// Submit promoted the candidate, the memo must not read our own
-	// promotion as an invalidation on the next poll.
 	w.lastRejected = err != nil
 	if a := w.reg.Active(); a != nil {
 		w.lastHashActive = a.Version

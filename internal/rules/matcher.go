@@ -101,6 +101,37 @@ func (m *Matcher) seal() {
 	m.flat = f
 }
 
+// TrieView is a read-only view of a sealed matcher's flattened trie —
+// the exact arrays the subset walks run over, exposed so model sealing
+// can persist them verbatim. Slices must not be modified.
+type TrieView struct {
+	Item                             []hierarchy.GenID
+	ChildLo, ChildHi, RuleLo, RuleHi []int32
+	Rules                            []*Rule
+	RootHi                           int32
+	Defaults                         []*Rule
+}
+
+// TrieView returns the flattened layout of a sealed matcher. The second
+// result is false when the matcher has been unsealed by a post-build
+// Insert (no flat form exists to persist).
+func (m *Matcher) TrieView() (TrieView, bool) {
+	f := m.flat
+	if f == nil {
+		return TrieView{}, false
+	}
+	return TrieView{
+		Item:     f.item,
+		ChildLo:  f.childLo,
+		ChildHi:  f.childHi,
+		RuleLo:   f.ruleLo,
+		RuleHi:   f.ruleHi,
+		Rules:    f.rules,
+		RootHi:   f.rootHi,
+		Defaults: m.defaults,
+	}, true
+}
+
 // child returns the child for item g, creating it in sorted position.
 func (n *matchNode) child(g hierarchy.GenID) *matchNode {
 	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].item >= g })

@@ -20,10 +20,12 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"profitmining/internal/arena"
 	"profitmining/internal/core"
 	"profitmining/internal/feedback"
 	"profitmining/internal/model"
@@ -319,20 +321,10 @@ type recommendRequest struct {
 	K      int        `json:"k,omitempty"`
 }
 
-// recommendationJSON is one scored recommendation.
-type recommendationJSON struct {
-	Item    string   `json:"item"`
-	PromoIx int      `json:"promoIx"`
-	Price   float64  `json:"price"`
-	Cost    float64  `json:"cost"`
-	Packing float64  `json:"packing"`
-	Profit  float64  `json:"profitPerSale"`
-	ProfRe  float64  `json:"profRe"`
-	Conf    float64  `json:"confidence"`
-	RuleID  string   `json:"ruleID"`
-	Rule    string   `json:"rule"`
-	Explain []string `json:"explain,omitempty"`
-}
+// recommendationJSON is one scored recommendation. The shape lives in
+// core (model sealing pre-marshals it into the arena image); this alias
+// keeps the serving layer's wire documentation in one place.
+type recommendationJSON = core.WireRecommendation
 
 // recommendResponse documents the POST /recommend wire shape. The hot
 // path does not encode this struct: writeRecommendResponse streams the
@@ -426,19 +418,31 @@ func (s *Server) rules(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = v
 	}
-	// Cap at the real rule count before sizing anything: limit comes off
-	// the wire and must not drive an allocation.
-	final := snap.Rec.Rules()
-	if limit > len(final) {
-		limit = len(final)
-	}
 	type ruleJSON struct {
 		ID   string `json:"id"`
 		Rule string `json:"rule"`
 	}
-	out := make([]ruleJSON, 0, limit)
-	for _, rule := range final[:limit] {
-		out = append(out, ruleJSON{ID: snap.Rec.RuleID(rule), Rule: rule.String(snap.Rec.Space())})
+	// Cap at the real rule count before sizing anything: limit comes off
+	// the wire and must not drive an allocation.
+	var out []ruleJSON
+	if sm := snap.Rec.Sealed(); sm != nil {
+		rt := sm.Rules()
+		if n := sm.Meta().NumFinal; limit > n {
+			limit = n
+		}
+		out = make([]ruleJSON, 0, limit)
+		for i := 0; i < limit; i++ {
+			out = append(out, ruleJSON{ID: rt.ID(int32(i)), Rule: rt.String(int32(i))})
+		}
+	} else {
+		final := snap.Rec.Rules()
+		if limit > len(final) {
+			limit = len(final)
+		}
+		out = make([]ruleJSON, 0, limit)
+		for _, rule := range final[:limit] {
+			out = append(out, ruleJSON{ID: snap.Rec.RuleID(rule), Rule: rule.String(snap.Rec.Space())})
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"rules": out, "total": snap.Rec.Stats().RulesFinal})
 }
@@ -654,6 +658,29 @@ func (s *Server) feedbackStats(w http.ResponseWriter, r *http.Request) {
 // the collector's model content key) is deterministic for a given
 // model.
 func RegisterSnapshot(fb *feedback.Collector, snap *registry.Snapshot) {
+	if sm := snap.Rec.Sealed(); sm != nil {
+		// The sealed rule table is already final-then-alternates with
+		// duplicates removed — the identical order the heap walk below
+		// produces. IDs are cloned out of the mapping: the collector
+		// outlives the snapshot, and a zero-copy string would dangle once
+		// the arena is unmapped on drain.
+		rt := sm.Rules()
+		projs := make([]feedback.RuleProjection, 0, rt.N())
+		for i := int32(0); int(i) < rt.N(); i++ {
+			promo := snap.Cat.Promo(model.PromoID(rt.HeadPromo[i]))
+			projs = append(projs, feedback.RuleProjection{
+				ID:     strings.Clone(rt.ID(i)),
+				ProfRe: rt.ProfRe[i],
+				Conf:   float64(rt.Hits[i]) / float64(rt.BodyCount[i]),
+				Price:  promo.Price,
+				Cost:   promo.Cost,
+			})
+		}
+		if err := fb.RegisterModel(snap.Version, snap.Hash, projs); err != nil {
+			log.Printf("serve: registering model v%d with feedback collector: %v", snap.Version, err)
+		}
+		return
+	}
 	space := snap.Rec.Space()
 	final, alt := snap.Rec.Rules(), snap.Rec.Alternates()
 	seen := make(map[*rules.Rule]bool, len(final)+len(alt))
@@ -712,12 +739,7 @@ func (s *Server) shadowScore(active *registry.Snapshot, wire []saleJSON, activeR
 // promoIndex maps a promo ID back to its wire-format index within its
 // item's ladder (-1 if absent, which cannot happen for a valid model).
 func promoIndex(cat *model.Catalog, item model.ItemID, promo model.PromoID) int {
-	for i, pid := range cat.Promos(item) {
-		if pid == promo {
-			return i
-		}
-	}
-	return -1
+	return core.PromoIndex(cat, item, promo)
 }
 
 // encodeRecommendation renders one recommendation against the snapshot
@@ -732,13 +754,24 @@ func promoIndex(cat *model.Catalog, item model.ItemID, promo model.PromoID) int 
 type encCache struct {
 	snap  *registry.Snapshot
 	blobs map[*rules.Rule]json.RawMessage
+
+	// sealed short-circuits the cache for arena-backed snapshots: the
+	// blobs were marshaled at seal time and live in the mapped file, so
+	// there is nothing to build and nothing on the heap.
+	sealed *arena.RuleTable
 }
 
 // encoded returns the snapshot's blob cache, building it on first use
 // after a promotion (one O(rules) marshal pass; concurrent rebuilds are
-// idempotent and the maps are immutable once published).
+// idempotent and the maps are immutable once published). Sealed
+// snapshots skip the pass entirely: their blob pool is the file.
 func (s *Server) encoded(snap *registry.Snapshot) *encCache {
 	if c := s.enc.Load(); c != nil && c.snap == snap {
+		return c
+	}
+	if sm := snap.Rec.Sealed(); sm != nil {
+		c := &encCache{snap: snap, sealed: sm.Rules()}
+		s.enc.Store(c)
 		return c
 	}
 	space := snap.Rec.Space()
@@ -757,9 +790,18 @@ func (s *Server) encoded(snap *registry.Snapshot) *encCache {
 	return c
 }
 
-// blob returns the marshaled recommendation, marshaling on the fly for
-// rules outside the cached sets (the tree's default rules).
+// blob returns the marshaled recommendation: straight out of the
+// mapped blob pool for sealed snapshots, from the cache (or marshaled
+// on the fly, for rules outside the cached sets) otherwise.
+//
+//hot:path
 func (c *encCache) blob(snap *registry.Snapshot, rec core.Recommendation) json.RawMessage {
+	if c.sealed != nil {
+		if rec.Idx >= 0 {
+			return json.RawMessage(c.sealed.Blob(rec.Idx))
+		}
+		return json.RawMessage(`{"error":"unencodable recommendation"}`)
+	}
 	if b, ok := c.blobs[rec.Rule]; ok {
 		return b
 	}
@@ -767,31 +809,11 @@ func (c *encCache) blob(snap *registry.Snapshot, rec core.Recommendation) json.R
 }
 
 func marshalRecommendation(snap *registry.Snapshot, rec core.Recommendation) json.RawMessage {
-	data, err := json.Marshal(encodeRecommendation(snap, rec))
-	if err != nil {
-		// Unreachable for validated models (plain strings and finite
-		// floats); kept so a pathological value degrades one slot, not
-		// the whole response.
-		return json.RawMessage(`{"error":"unencodable recommendation"}`)
-	}
-	return data
+	return core.MarshalWire(snap.Cat, snap.Rec, rec)
 }
 
 func encodeRecommendation(snap *registry.Snapshot, rec core.Recommendation) recommendationJSON {
-	promo := snap.Cat.Promo(rec.Promo)
-	return recommendationJSON{
-		Item:    snap.Cat.Item(rec.Item).Name,
-		PromoIx: promoIndex(snap.Cat, rec.Item, rec.Promo),
-		Price:   promo.Price,
-		Cost:    promo.Cost,
-		Packing: promo.Packing,
-		Profit:  promo.Profit(),
-		ProfRe:  rec.Rule.ProfRe(),
-		Conf:    rec.Rule.Conf(),
-		RuleID:  snap.Rec.RuleID(rec.Rule),
-		Rule:    rec.Rule.String(snap.Rec.Space()),
-		Explain: snap.Rec.Explain(rec),
-	}
+	return core.EncodeWire(snap.Cat, snap.Rec, rec)
 }
 
 func decodeBasket(cat *model.Catalog, sales []saleJSON) (model.Basket, error) {

@@ -67,6 +67,17 @@ func VerifyModel(path string) error {
 	return modelio.VerifyFile(path)
 }
 
+// SealModel writes the recommender as a sealed serving image (modelio
+// format v3): one mmap-able arena file that LoadModel and the serving
+// registry open in O(1) of the model size, with every response blob
+// pre-marshaled. Unlike SaveModel's structural JSON, a sealed file is a
+// deployment artifact — byte-layout, not interchange — and cannot be
+// re-trained from; keep the v2 file (or the dataset) as the source of
+// truth.
+func SealModel(path string, cat *Catalog, rec *Recommender) error {
+	return modelio.SealFile(path, cat, rec)
+}
+
 // WriteModel and ReadModel are the stream forms of SaveModel/LoadModel.
 func WriteModel(w io.Writer, cat *Catalog, spec *HierarchySpec, rec *Recommender) error {
 	return modelio.Save(w, cat, spec, rec)

@@ -9,9 +9,13 @@
 # the loss. The killed replica restarts on its surviving WAL and
 # re-ships; the coordinator's aggregate must converge to every acked
 # outcome (exactly-once accounting) and the fleet must re-agree on the
-# model hash. Finally the coordinator itself is restarted on its spool
+# model hash. The coordinator itself is then restarted on its spool
 # directory: /feedback/stats must come back byte-identical, proving the
-# cluster fold is a pure function of the shipped segment set.
+# cluster fold is a pure function of the shipped segment set. A final
+# leg stands up a second fleet around the sealed zero-copy image of the
+# same model: the coordinator must distribute it verbatim and every
+# replica must stage it without re-encoding, converging on the content
+# hash embedded in the image's own header.
 set -euo pipefail
 
 COORD_ADDR="127.0.0.1:${SMOKE_CLUSTER_PORT:-18090}"
@@ -51,9 +55,10 @@ wait_healthy() { # wait_healthy <url> <tries>
     return 1
 }
 
-echo "== building a model and the server binary"
+echo "== building a model (both formats) and the server binary"
 go run ./cmd/profitgen -dataset I -txns 4000 -items 80 -out "$workdir/data.pmjl"
-go run ./cmd/profitminer -in "$workdir/data.pmjl" -minsup 0.01 -save "$workdir/model.pmm" >/dev/null
+go run ./cmd/profitminer -in "$workdir/data.pmjl" -minsup 0.01 \
+    -save "$workdir/model.pmm" -seal "$workdir/model.pma" >/dev/null
 go build -o "$workdir/profitserve" ./cmd/profitserve
 
 echo "== starting the coordinator and three model-less replicas"
@@ -62,10 +67,10 @@ echo "== starting the coordinator and three model-less replicas"
 coord_pid=$!
 pids+=("$coord_pid")
 
-start_replica() { # start_replica <addr> <n> — echoes the pid
+start_replica() { # start_replica <addr> <n> [<join-url>] — echoes the pid
     # The server's stdout/stderr must NOT be the substitution pipe, or
     # $(start_replica ...) would block until the server exits.
-    "$workdir/profitserve" -role replica -join "$COORD" -addr "$1" \
+    "$workdir/profitserve" -role replica -join "${3:-$COORD}" -addr "$1" \
         -node-id "replica-$2" -feedback-dir "$workdir/fb$2" \
         >>"$workdir/replica$2.log" 2>&1 &
     echo $!
@@ -148,4 +153,50 @@ before: $s1
 after:  $s3"
 echo "   stats byte-identical across reads and a spool reload"
 
-echo "cluster-smoke: OK (fleet converged on $coord_hash, kill-one lost nothing, stats replay deterministic)"
+echo "== sealed model leg: a second fleet distributes the zero-copy image"
+# The fleet identity of a sealed model must be the checksum embedded in
+# its header — sha256 of everything after the 48-byte header prefix —
+# so the coordinator distributes the sealed bytes verbatim and every
+# replica stages them without re-encoding or re-hashing. Computing the
+# expected hash here, outside the binary, pins exactly that: if any hop
+# re-encoded the image, its content hash could not match this one.
+sealed_hash=$(tail -c +49 "$workdir/model.pma" | sha256sum | cut -d' ' -f1)
+[ -n "$sealed_hash" ] || fail "could not hash the sealed image"
+
+S_COORD_ADDR="127.0.0.1:$((${SMOKE_CLUSTER_PORT:-18090} + 10))"
+S_COORD="http://$S_COORD_ADDR"
+S1_ADDR="127.0.0.1:$((${SMOKE_CLUSTER_PORT:-18090} + 11))"
+S2_ADDR="127.0.0.1:$((${SMOKE_CLUSTER_PORT:-18090} + 12))"
+S3_ADDR="127.0.0.1:$((${SMOKE_CLUSTER_PORT:-18090} + 13))"
+
+"$workdir/profitserve" -role coordinator -addr "$S_COORD_ADDR" \
+    -replicas "http://$S1_ADDR,http://$S2_ADDR,http://$S3_ADDR" \
+    -model "$workdir/model.pma" -spool-dir "$workdir/spool-sealed" \
+    >>"$workdir/coord-sealed.log" 2>&1 &
+pids+=("$!")
+s1_pid=$(start_replica "$S1_ADDR" 4 "$S_COORD"); pids+=("$s1_pid")
+s2_pid=$(start_replica "$S2_ADDR" 5 "$S_COORD"); pids+=("$s2_pid")
+s3_pid=$(start_replica "$S3_ADDR" 6 "$S_COORD"); pids+=("$s3_pid")
+
+for base in "http://$S1_ADDR" "http://$S2_ADDR" "http://$S3_ADDR"; do
+    wait_healthy "$base" 100 || fail "replica $base never synced the sealed model"
+done
+wait_healthy "$S_COORD" 50 || fail "sealed coordinator never reported a healthy fleet"
+
+s_coord_hash=$(curl -sf "$S_COORD/version" | json_field modelHash)
+[ "$s_coord_hash" = "$sealed_hash" ] \
+    || fail "sealed coordinator distributes $s_coord_hash, file header says $sealed_hash"
+for base in "http://$S1_ADDR" "http://$S2_ADDR" "http://$S3_ADDR"; do
+    h=$(curl -sf "$base/version" | json_field hash)
+    [ "$h" = "$sealed_hash" ] || fail "$base serves $h, sealed image is $sealed_hash"
+done
+curl -sf "$S_COORD/version" | grep -q '"skew":false' \
+    || fail "sealed coordinator reports model skew on a converged fleet"
+
+# And the sealed fleet actually serves: one routed recommendation.
+curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"basket":[{"item":"item-0001","promoIx":0}],"k":1}' "$S_COORD/recommend" \
+    | json_field ruleID | grep -q . || fail "sealed fleet served no recommendation"
+echo "   sealed fleet converged on embedded header checksum $sealed_hash"
+
+echo "cluster-smoke: OK (fleet converged on $coord_hash, kill-one lost nothing, stats replay deterministic, sealed fleet converged on $sealed_hash)"
