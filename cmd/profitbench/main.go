@@ -74,6 +74,20 @@ func main() {
 		clusterReqs  = flag.Int("clusterreqs", 200, "batch requests timed per tier by -clusterbench")
 		clusterRatio = flag.Float64("clusterratio", 2, "maximum coordinator/single-node batch p99 ratio -clusterbench enforces")
 		clusterOut   = flag.String("clusterout", "BENCH_cluster.json", "where -clusterbench writes its JSON report")
+
+		soakBench    = flag.Bool("soakbench", false, "instead of the figure sweep, run the closed-loop traffic soak (virtual-clock, single node + coordinator fleet, determinism and drift-cycle gates) and write a JSON report")
+		soakUsers    = flag.Int("soakusers", 1000000, "simulated user population for -soakbench")
+		soakVirt     = flag.Float64("soakvirt", 45, "virtual-clock seconds simulated per -soakbench run")
+		soakRate     = flag.Float64("soakrate", 20, "base session arrivals per virtual second for -soakbench")
+		soakMinsup   = flag.Float64("soakminsup", 0.01, "minimum support for the -soakbench windowed model")
+		soakWindow   = flag.Int("soakwindow", 2048, "initial window size for the -soakbench windowed model")
+		soakSlide    = flag.Int("soakslide", 256, "transactions each drift refresh slides the -soakbench window by")
+		soakQPS      = flag.Float64("soakqps", 200, "target request rate for the -soakbench wall-clock open-loop phase")
+		soakWall     = flag.Float64("soakwall", 5, "wall-clock seconds of the -soakbench open-loop phase")
+		soakP99Ms    = flag.Float64("soakp99ms", 50, "server-side /recommend p99 budget in ms -soakbench enforces in both topologies")
+		soakCheckEvy = flag.Int("soakcheckevery", 50, "acked outcomes between WAL shipping points in the -soakbench cluster phase")
+		soakURL      = flag.String("soakurl", "", "soak an external live server at this base URL instead of the in-process topologies (scripts/soak_smoke.sh mode)")
+		soakOut      = flag.String("soakout", "BENCH_soak.json", "where -soakbench writes its JSON report")
 	)
 	flag.Parse()
 
@@ -116,6 +130,18 @@ func main() {
 	}
 	if *clusterBench {
 		runClusterBench(names[0], *txns, *items, sups[0], *maxLen, *seed, *clusterReqs, *clusterRatio, *clusterOut)
+		return
+	}
+	if *soakBench {
+		runSoakBench(soakParams{
+			txns: *txns, items: *items,
+			minsup: *soakMinsup, window: *soakWindow, slide: *soakSlide,
+			users: *soakUsers, seed: *seed,
+			virtSecs: *soakVirt, rate: *soakRate,
+			qps: *soakQPS, wallSecs: *soakWall,
+			maxP99Ms: *soakP99Ms, checkEvery: *soakCheckEvy,
+			out: *soakOut, url: *soakURL,
+		})
 		return
 	}
 

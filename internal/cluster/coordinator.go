@@ -112,7 +112,9 @@ type Coordinator struct {
 	model atomic.Pointer[modelBlob]
 
 	proxied       atomic.Int64 // requests routed to replicas
-	hedges        atomic.Int64 // extra attempts launched (hedge or failover)
+	hedges        atomic.Int64 // extra attempts launched because the current one was slow
+	failovers     atomic.Int64 // extra attempts launched because the current one failed
+	hedgeWins     atomic.Int64 // forwarded requests won by a non-primary attempt
 	replicaErrors atomic.Int64 // attempts that failed
 	outcomes      atomic.Int64 // outcome reports proxied
 	skews         atomic.Int64 // batch fan-outs that observed >1 model version
@@ -333,17 +335,18 @@ func (c *Coordinator) forward(ctx context.Context, method, path string, header h
 		return nil, errors.New("no replicas configured")
 	}
 	type attempt struct {
+		idx int // position in the attempt order; 0 is the primary
 		res *proxyResult
 		err error
 	}
 	results := make(chan attempt, len(order))
 	launched := 0
 	launch := func() {
-		rs := order[launched]
+		rs, idx := order[launched], launched
 		launched++
 		go func() {
 			res, err := c.attempt(ctx, rs, method, path, header, body)
-			results <- attempt{res, err}
+			results <- attempt{idx, res, err}
 		}()
 	}
 	launch()
@@ -368,6 +371,9 @@ func (c *Coordinator) forward(ctx context.Context, method, path string, header h
 		case a := <-results:
 			pending--
 			if a.err == nil && a.res.status < http.StatusInternalServerError {
+				if a.idx > 0 {
+					c.hedgeWins.Add(1)
+				}
 				return a.res, nil
 			}
 			c.replicaErrors.Add(1)
@@ -380,7 +386,7 @@ func (c *Coordinator) forward(ctx context.Context, method, path string, header h
 				}
 			}
 			if launched < len(order) {
-				c.hedges.Add(1)
+				c.failovers.Add(1)
 				launch()
 				pending++
 				if !timer.Stop() {
@@ -846,6 +852,8 @@ func (c *Coordinator) metrics(w http.ResponseWriter, r *http.Request) {
 		"coordinator": map[string]any{
 			"proxied":       c.proxied.Load(),
 			"hedges":        c.hedges.Load(),
+			"hedgeWins":     c.hedgeWins.Load(),
+			"failovers":     c.failovers.Load(),
 			"replicaErrors": c.replicaErrors.Load(),
 			"outcomes":      c.outcomes.Load(),
 			"versionSkews":  c.skews.Load(),

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestFailoverCounters pins the /metrics split between hedges (slow
+// primary, timer-raced second attempt), failovers (failed attempt,
+// immediate second attempt), and hedgeWins (a non-primary attempt
+// produced the winning answer). With a dead replica in the fleet,
+// requests whose consistent-hash order leads with it must fail over to
+// the live replica, succeed, and be counted as hedge wins.
+func TestFailoverCounters(t *testing.T) {
+	coord, cts, stacks := newFleet(t, 1, CoordinatorConfig{})
+	live := stacks[0]
+
+	dead := httptest.NewServer(http.NewServeMux())
+	dead.Close()
+	coord.SetReplicas([]string{dead.URL, live.ts.URL})
+
+	// The routing key is the sorted basket item set, so distinct baskets
+	// give distinct keys — with enough of them, both ring orders occur
+	// and some requests lead with the dead replica. Every request must
+	// still answer via the live replica.
+	items := []string{"Beer", "Bread", "Perfume", "Shampoo", "FlakedChicken"}
+	var baskets []string
+	for _, it := range items {
+		baskets = append(baskets, `{"basket":[{"item":"`+it+`","promoIx":0,"qty":1}]}`)
+	}
+	for i := 1; i < len(items); i++ {
+		baskets = append(baskets, `{"basket":[{"item":"`+items[0]+`","promoIx":0,"qty":1},{"item":"`+items[i]+`","promoIx":0,"qty":1}]}`)
+	}
+	for _, b := range baskets {
+		resp, out := postJSON(t, cts.URL+"/recommend", b)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("recommend with one dead replica: %d %v", resp.StatusCode, out)
+		}
+	}
+
+	failovers := coord.failovers.Load()
+	hedgeWins := coord.hedgeWins.Load()
+	if failovers == 0 {
+		t.Fatal("no failovers counted although a dead replica was in the rotation")
+	}
+	if hedgeWins == 0 {
+		t.Fatal("no hedge wins counted although failed-over requests succeeded")
+	}
+	if hedgeWins > failovers+coord.hedges.Load() {
+		t.Fatalf("hedgeWins %d exceeds extra attempts launched (%d failovers + %d hedges)",
+			hedgeWins, failovers, coord.hedges.Load())
+	}
+
+	// The same counters must surface on /metrics.
+	_, m := getJSON(t, cts.URL+"/metrics")
+	co := m["coordinator"].(map[string]any)
+	if got := int64(co["failovers"].(float64)); got != failovers {
+		t.Fatalf("/metrics failovers = %d, counter = %d", got, failovers)
+	}
+	if got := int64(co["hedgeWins"].(float64)); got != hedgeWins {
+		t.Fatalf("/metrics hedgeWins = %d, counter = %d", got, hedgeWins)
+	}
+	if _, ok := co["hedges"].(float64); !ok {
+		t.Fatal("/metrics lost the hedges counter")
+	}
+}

@@ -130,37 +130,115 @@ func DatasetIIConfig(q quest.Config, seed int64) Config {
 	return Config{Quest: q, Targets: targets, TargetCorrelation: PaperTargetCorrelation, Seed: seed}
 }
 
+// Cell is one ⟨target, price⟩ market-segment cell of the generator's
+// coupling tables: customers of this cell shop in the non-target item
+// range [Base, Base+Size) (0-based quest indices) and, on a correlated
+// draw, buy target Target at price level PriceLevel (possibly bumped up
+// per BumpWeights).
+type Cell struct {
+	Target     int // index into Targets
+	PriceLevel int // preferred price level, 0-based
+	Base, Size int // non-target item range [Base, Base+Size)
+}
+
+// GroundTruth exposes the generator's coupling tables — the hidden
+// state that decides which target sale a basket predicts. The traffic
+// simulator (internal/simload) derives its closed-loop buy model from
+// these tables, so simulated purchase behavior is causally consistent
+// with the data the served model was mined from.
+type GroundTruth struct {
+	Correlation float64      // cfg.TargetCorrelation after defaults
+	BumpWeights []float64    // cfg.BumpWeights after defaults
+	NumPrices   int          // price-ladder length
+	Targets     []TargetSpec // the configured targets, in catalog order
+	Cells       []Cell       // all cells, laid out in item order (empty when Correlation is 0)
+	TxnCell     []int        // cell index per generated transaction (nil when Correlation is 0)
+}
+
+// TargetShare returns target i's marginal sales frequency (its weight
+// over the total weight; 0 for an out-of-range index).
+func (gt *GroundTruth) TargetShare(i int) float64 {
+	if i < 0 || i >= len(gt.Targets) {
+		return 0
+	}
+	var total float64
+	for _, ts := range gt.Targets {
+		total += ts.Weight
+	}
+	if total <= 0 {
+		return 0
+	}
+	return gt.Targets[i].Weight / total
+}
+
+// PriceAcceptance returns the probability that a customer preferring
+// price level pref accepts an offer at level offered, per the bump
+// model: a level at or below the preference is always accepted (the
+// customer wanted at most that price), while higher levels are accepted
+// with the tail mass of the bump distribution — exactly the "shopping
+// on unavailability" weights the generator used to smear recorded
+// prices upward.
+func (gt *GroundTruth) PriceAcceptance(pref, offered int) float64 {
+	if offered <= pref {
+		return 1
+	}
+	up := offered - pref
+	if up >= len(gt.BumpWeights) {
+		return 0
+	}
+	var total, tail float64
+	for k, w := range gt.BumpWeights {
+		total += w
+		if k >= up {
+			tail += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	return tail / total
+}
+
 // Generate builds a synthetic dataset: a catalog of non-target items
 // (named "item-0001"…) and target items, and one transaction per Quest
 // transaction with a sampled target sale attached.
 func Generate(cfg Config) (*model.Dataset, error) {
+	ds, _, err := GenerateWithTruth(cfg)
+	return ds, err
+}
+
+// GenerateWithTruth is Generate plus the coupling tables the generator
+// used: the cell layout, the per-transaction cell assignment, and the
+// bump weights. The dataset is byte-identical to Generate's for the
+// same configuration — the truth is recorded, not re-derived.
+func GenerateWithTruth(cfg Config) (*model.Dataset, *GroundTruth, error) {
 	cfg = cfg.defaults()
 	if len(cfg.Targets) == 0 {
-		return nil, fmt.Errorf("datagen: no target items configured")
+		return nil, nil, fmt.Errorf("datagen: no target items configured")
 	}
 	for i, ts := range cfg.Targets {
 		if ts.Cost <= 0 {
-			return nil, fmt.Errorf("datagen: target %d has non-positive cost %g", i, ts.Cost)
+			return nil, nil, fmt.Errorf("datagen: target %d has non-positive cost %g", i, ts.Cost)
 		}
 		if ts.Weight < 0 {
-			return nil, fmt.Errorf("datagen: target %d has negative weight %g", i, ts.Weight)
+			return nil, nil, fmt.Errorf("datagen: target %d has negative weight %g", i, ts.Weight)
 		}
 	}
 	if cfg.NumPrices < 1 {
-		return nil, fmt.Errorf("datagen: NumPrices %d must be at least 1", cfg.NumPrices)
+		return nil, nil, fmt.Errorf("datagen: NumPrices %d must be at least 1", cfg.NumPrices)
 	}
 	if cfg.PriceStep <= 0 {
-		return nil, fmt.Errorf("datagen: PriceStep %g must be positive", cfg.PriceStep)
+		return nil, nil, fmt.Errorf("datagen: PriceStep %g must be positive", cfg.PriceStep)
 	}
 	if cfg.TargetCorrelation < 0 || cfg.TargetCorrelation > 1 {
-		return nil, fmt.Errorf("datagen: TargetCorrelation %g outside [0,1]", cfg.TargetCorrelation)
+		return nil, nil, fmt.Errorf("datagen: TargetCorrelation %g outside [0,1]", cfg.TargetCorrelation)
 	}
 	if cfg.BumpWeights == nil {
 		cfg.BumpWeights = []float64{0.35, 0.3, 0.2, 0.15}
 	}
 	for i, w := range cfg.BumpWeights {
 		if w < 0 {
-			return nil, fmt.Errorf("datagen: negative bump weight %g at %d", w, i)
+			return nil, nil, fmt.Errorf("datagen: negative bump weight %g at %d", w, i)
 		}
 	}
 
@@ -218,7 +296,7 @@ func Generate(cfg Config) (*model.Dataset, error) {
 	if cfg.TargetCorrelation == 0 { //lint:allow floatcmp -- exact zero selects plain Quest semantics; any explicit correlation, however small, is honoured
 		raw, err := quest.Generate(cfg.Quest)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		txns := make([]model.Transaction, 0, len(raw))
 		for _, items := range raw {
@@ -236,7 +314,13 @@ func Generate(cfg Config) (*model.Dataset, error) {
 			t.Target = model.Sale{Item: targetIDs[ti], Promo: targetPromos[ti][j], Qty: 1}
 			txns = append(txns, t)
 		}
-		return &model.Dataset{Catalog: cat, Transactions: txns}, nil
+		truth := &GroundTruth{
+			Correlation: 0,
+			BumpWeights: cfg.BumpWeights,
+			NumPrices:   cfg.NumPrices,
+			Targets:     cfg.Targets,
+		}
+		return &model.Dataset{Catalog: cat, Transactions: txns}, truth, nil
 	}
 
 	// Basket↔target coupling (when TargetCorrelation > 0): customers of
@@ -256,7 +340,7 @@ func Generate(cfg Config) (*model.Dataset, error) {
 	// profit-ranked rules overreach on price (see DESIGN.md).
 	groupSize, err := apportion(q.NumItems, weights, 2)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	type cell struct {
@@ -283,7 +367,7 @@ func Generate(cfg Config) (*model.Dataset, error) {
 		}
 		poolSizes, err := apportion(gs, uniform, 2)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Spread the available price levels across the pools (all of them
 		// when pools == NumPrices; an even selection otherwise).
@@ -331,7 +415,7 @@ func Generate(cfg Config) (*model.Dataset, error) {
 			qc.Seed = q.Seed + int64(c.base)*7919 + int64(ci) + 17
 			detail, err := quest.GenerateDetailed(qc)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			c.detail = detail
 		}
@@ -383,7 +467,34 @@ func Generate(cfg Config) (*model.Dataset, error) {
 		txns = append(txns, t)
 	}
 
-	return &model.Dataset{Catalog: cat, Transactions: txns}, nil
+	// Record the coupling tables. Cells are flattened in layout order
+	// (by target, then price pool) so a cell's index is stable across
+	// runs; each transaction keeps the index of the cell that generated
+	// its basket.
+	truth := &GroundTruth{
+		Correlation: cfg.TargetCorrelation,
+		BumpWeights: cfg.BumpWeights,
+		NumPrices:   cfg.NumPrices,
+		Targets:     cfg.Targets,
+	}
+	cellIx := make(map[*cell]int, len(targetOf))
+	for s, sc := range cells {
+		for _, c := range sc {
+			cellIx[c] = len(truth.Cells)
+			truth.Cells = append(truth.Cells, Cell{
+				Target:     s,
+				PriceLevel: c.price,
+				Base:       c.base,
+				Size:       c.size,
+			})
+		}
+	}
+	truth.TxnCell = make([]int, len(txnCell))
+	for i, c := range txnCell {
+		truth.TxnCell[i] = cellIx[c]
+	}
+
+	return &model.Dataset{Catalog: cat, Transactions: txns}, truth, nil
 }
 
 // apportion splits n items into len(weights) contiguous groups of at

@@ -1,0 +1,128 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"profitmining/internal/quest"
+)
+
+func truthConfig() Config {
+	return DatasetIConfig(quest.Config{NumTransactions: 800, NumItems: 40}, 7)
+}
+
+// GenerateWithTruth must be a pure recording of what Generate already
+// does: same config, byte-identical dataset.
+func TestGenerateWithTruthMatchesGenerate(t *testing.T) {
+	cfg := truthConfig()
+	plain, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, truth, err := GenerateWithTruth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Transactions, ds.Transactions) {
+		t.Fatal("GenerateWithTruth changed the generated transactions")
+	}
+	if truth == nil {
+		t.Fatal("no truth returned")
+	}
+}
+
+func TestGroundTruthCoversEveryTransaction(t *testing.T) {
+	ds, truth, err := GenerateWithTruth(truthConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.Cells) == 0 {
+		t.Fatal("correlated config produced no cells")
+	}
+	if got, want := len(truth.TxnCell), len(ds.Transactions); got != want {
+		t.Fatalf("TxnCell covers %d transactions, dataset has %d", got, want)
+	}
+	for i, ci := range truth.TxnCell {
+		if ci < 0 || ci >= len(truth.Cells) {
+			t.Fatalf("txn %d: cell index %d out of range [0,%d)", i, ci, len(truth.Cells))
+		}
+	}
+	// Cells partition the non-target item space into contiguous,
+	// non-overlapping ranges in layout order.
+	next := 0
+	for i, c := range truth.Cells {
+		if c.Base != next {
+			t.Fatalf("cell %d starts at %d, want %d (cells must tile the item space)", i, c.Base, next)
+		}
+		if c.Size < 2 {
+			t.Fatalf("cell %d has %d items, want at least 2", i, c.Size)
+		}
+		if c.Target < 0 || c.Target >= len(truth.Targets) {
+			t.Fatalf("cell %d references target %d of %d", i, c.Target, len(truth.Targets))
+		}
+		if c.PriceLevel < 0 || c.PriceLevel >= truth.NumPrices {
+			t.Fatalf("cell %d price level %d outside ladder of %d", i, c.PriceLevel, truth.NumPrices)
+		}
+		next = c.Base + c.Size
+	}
+	// Every basket item of every transaction must fall inside its cell's
+	// range — that containment is what makes the cell recoverable from
+	// traffic, and what the simulator's buy model relies on.
+	for i, txn := range ds.Transactions {
+		c := truth.Cells[truth.TxnCell[i]]
+		for _, s := range txn.NonTarget {
+			ix := int(s.Item) - 1 // catalog IDs are 1-based quest indices
+			if ix < c.Base || ix >= c.Base+c.Size {
+				t.Fatalf("txn %d: item %d outside cell range [%d,%d)", i, ix, c.Base, c.Base+c.Size)
+			}
+		}
+	}
+}
+
+func TestGroundTruthDeterminism(t *testing.T) {
+	_, a, err := GenerateWithTruth(truthConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := GenerateWithTruth(truthConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ground truth differs across identical runs")
+	}
+}
+
+func TestPriceAcceptance(t *testing.T) {
+	gt := &GroundTruth{BumpWeights: []float64{0.35, 0.3, 0.2, 0.15}, NumPrices: 4}
+	if got := gt.PriceAcceptance(2, 1); got != 1 {
+		t.Fatalf("below-preference acceptance = %g, want 1", got)
+	}
+	if got := gt.PriceAcceptance(0, 4); got != 0 {
+		t.Fatalf("beyond-bump acceptance = %g, want 0", got)
+	}
+	// One level above preference: tail mass past the zero bump.
+	want := (0.3 + 0.2 + 0.15) / (0.35 + 0.3 + 0.2 + 0.15)
+	if got := gt.PriceAcceptance(1, 2); got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("one-above acceptance = %g, want %g", got, want)
+	}
+	// Acceptance must be monotone non-increasing in the offered level.
+	prev := 2.0
+	for off := 0; off < 4; off++ {
+		p := gt.PriceAcceptance(1, off)
+		if p > prev {
+			t.Fatalf("acceptance not monotone at level %d: %g > %g", off, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestTargetShare(t *testing.T) {
+	gt := &GroundTruth{Targets: []TargetSpec{{Weight: 5}, {Weight: 1}}}
+	if got := gt.TargetShare(0); got < 5.0/6-1e-12 || got > 5.0/6+1e-12 {
+		t.Fatalf("share(0) = %g, want %g", got, 5.0/6)
+	}
+	if got := gt.TargetShare(2); got != 0 {
+		t.Fatalf("out-of-range share = %g, want 0", got)
+	}
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Concurrent requests across several endpoints: the aggregate histogram
+// total, the per-endpoint histogram totals, and the per-endpoint request
+// counters must all agree, and the histogram binning must stay stable.
+// Run under -race this also proves the recording path is data-race free.
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	const (
+		workers = 8
+		perEp   = 25
+	)
+	paths := []string{"/healthz", "/version", "/metrics", "/rules?limit=1"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perEp; i++ {
+				for _, p := range paths {
+					resp, err := http.Get(ts.URL + p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //lint:allow droppederr -- draining a test response body
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The histogram add lands after the response is written, so a client
+	// can observe its response an instant before the server finishes
+	// recording it. All requests above have returned, so the counters are
+	// final; poll /metrics until the histograms catch up to them.
+	var body map[string]any
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body = getJSON(t, ts.URL+"/metrics")
+		settled := true
+		byEp := body["latencyByEndpoint"].(map[string]any)
+		reqs := body["requests"].(map[string]any)
+		for ep, v := range byEp {
+			if ep == "/metrics" {
+				continue // the in-flight scrape itself
+			}
+			if int64(v.(map[string]any)["count"].(float64)) != int64(reqs[ep].(float64)) {
+				settled = false
+			}
+		}
+		if settled || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	lat := body["latency"].(map[string]any)
+	byEp := body["latencyByEndpoint"].(map[string]any)
+	reqs := body["requests"].(map[string]any)
+
+	aggregate := int64(lat["count"].(float64))
+	var epTotal int64
+	for ep, v := range byEp {
+		m := v.(map[string]any)
+		count := int64(m["count"].(float64))
+		epTotal += count
+		// /metrics observes itself mid-request: its own histogram add
+		// happens after the response is written, so its count may trail
+		// the request counter by exactly the in-flight scrape.
+		want := int64(reqs[ep].(float64))
+		if ep == "/metrics" {
+			if count != want && count != want-1 {
+				t.Errorf("%s: histogram count %d, request counter %d (allowed lag 1)", ep, count, want)
+			}
+			continue
+		}
+		if count != want {
+			t.Errorf("%s: histogram count %d != request counter %d", ep, count, want)
+		}
+		for _, q := range []string{"p50Ms", "p95Ms", "p99Ms"} {
+			qv, ok := m[q].(float64)
+			if !ok || qv < 0 {
+				t.Errorf("%s: bad %s: %v", ep, q, m[q])
+			}
+		}
+		p50, p99 := m["p50Ms"].(float64), m["p99Ms"].(float64)
+		if p99 < p50 {
+			t.Errorf("%s: p99 %g below p50 %g", ep, p99, p50)
+		}
+	}
+	if aggregate != epTotal {
+		t.Errorf("aggregate latency count %d != sum of per-endpoint counts %d", aggregate, epTotal)
+	}
+
+	// Bucket boundaries are part of the metrics contract: 200 bins of
+	// 0.5ms over [0, 100ms).
+	if binMs := lat["binMs"].(float64); binMs != 0.5 {
+		t.Errorf("binMs = %g, want 0.5", binMs)
+	}
+	counts := lat["counts"].([]any)
+	if len(counts) != 200 {
+		t.Errorf("latency bins = %d, want 200", len(counts))
+	}
+	var binSum int64
+	for _, c := range counts {
+		binSum += int64(c.(float64))
+	}
+	if binSum != aggregate {
+		t.Errorf("bin counts sum to %d, histogram count is %d", binSum, aggregate)
+	}
+
+	for _, ep := range []string{"/healthz", "/version", "/rules"} {
+		if got := int64(reqs[ep].(float64)); got != workers*perEp {
+			t.Errorf("%s request counter = %d, want %d", ep, got, int64(workers*perEp))
+		}
+	}
+}

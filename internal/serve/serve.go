@@ -85,7 +85,8 @@ type Server struct {
 	enc atomic.Pointer[encCache]
 
 	latencyMu sync.Mutex
-	latency   *stats.Histogram // request latency, milliseconds
+	latency   *stats.Histogram            // request latency, milliseconds, all endpoints
+	epLatency map[string]*stats.Histogram // per-endpoint latency, fixed key set
 }
 
 // New creates a Server over a fixed (catalog, recommender) pair — the
@@ -129,12 +130,17 @@ func NewRegistry(reg *registry.Registry, reload Reloader, fb *feedback.Collector
 		reload:   reload,
 		fb:       fb,
 		requests: make(map[string]*atomic.Int64, len(endpoints)),
-		// 40 bins over [0, 20ms): basket scoring is sub-millisecond, so
-		// the clamp bin at 20ms doubles as the slow-request counter.
-		latency: stats.NewHistogram(0, 20, 40),
+		// 200 bins of 0.5ms over [0, 100ms): basket scoring is
+		// sub-millisecond, but the range leaves headroom for tail
+		// outliers (first request after a model swap, GC pauses) so a
+		// p99 read stays honest instead of clamping at a low ceiling;
+		// the clamp bin at 100ms doubles as the slow-request counter.
+		latency:   stats.NewHistogram(0, 100, 200),
+		epLatency: make(map[string]*stats.Histogram, len(endpoints)),
 	}
 	for _, ep := range endpoints {
 		s.requests[ep] = new(atomic.Int64)
+		s.epLatency[ep] = stats.NewHistogram(0, 100, 200)
 	}
 	return s
 }
@@ -167,8 +173,11 @@ func (s *Server) Handler() http.Handler {
 }
 
 // instrument counts the request against its endpoint and records its
-// wall-clock latency in the shared histogram.
+// wall-clock latency in both the aggregate and the per-endpoint
+// histogram. One lock covers both adds so their totals can never be
+// observed out of step with each other.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.epLatency[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.requests[name].Add(1)
@@ -176,6 +185,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		ms := float64(time.Since(start)) / float64(time.Millisecond)
 		s.latencyMu.Lock()
 		s.latency.Add(ms)
+		ep.Add(ms)
 		s.latencyMu.Unlock()
 	}
 }
@@ -210,6 +220,22 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		"binMs":  (s.latency.Max - s.latency.Min) / float64(len(s.latency.Counts)),
 		"counts": append([]int64(nil), s.latency.Counts...),
 	}
+	// Derived per-endpoint percentiles, so load harnesses (the soak gate
+	// in particular) can read server-side p99 instead of recomputing
+	// client-side percentiles that include network time.
+	byEndpoint := make(map[string]any, len(s.epLatency))
+	for ep, h := range s.epLatency {
+		if h.N() == 0 {
+			continue
+		}
+		byEndpoint[ep] = map[string]any{
+			"count":  h.N(),
+			"meanMs": h.Mean(),
+			"p50Ms":  h.Quantile(0.50),
+			"p95Ms":  h.Quantile(0.95),
+			"p99Ms":  h.Quantile(0.99),
+		}
+	}
 	s.latencyMu.Unlock()
 
 	fbStats := s.fb.Stats(-1)
@@ -227,11 +253,12 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	body := map[string]any{
-		"recommendations": s.recommendations.Load(),
-		"badRequests":     s.badRequests.Load(),
-		"requests":        reqs,
-		"latency":         lat,
-		"feedback":        fb,
+		"recommendations":   s.recommendations.Load(),
+		"badRequests":       s.badRequests.Load(),
+		"requests":          reqs,
+		"latency":           lat,
+		"latencyByEndpoint": byEndpoint,
+		"feedback":          fb,
 	}
 	if snap := s.reg.Active(); snap != nil {
 		body["rules"] = snap.Rec.Stats().RulesFinal

@@ -1,0 +1,75 @@
+package simload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ArrivalConfig describes a non-homogeneous Poisson session-arrival
+// process: a base rate modulated by a sinusoidal diurnal cycle and
+// periodic traffic bursts. Times are seconds on the simulation clock
+// (virtual seconds in Run, wall seconds if used elsewhere).
+type ArrivalConfig struct {
+	// BaseRate is the mean session starts per second at the diurnal
+	// midpoint, outside bursts. Required > 0.
+	BaseRate float64
+	// DayLength is the diurnal period in seconds; 0 disables the cycle.
+	DayLength float64
+	// DiurnalAmp is the relative amplitude of the cycle in [0, 1): the
+	// rate swings between BaseRate·(1−amp) and BaseRate·(1+amp).
+	DiurnalAmp float64
+	// BurstEvery starts a burst every so many seconds; 0 disables bursts.
+	BurstEvery float64
+	// BurstLen is how long each burst lasts.
+	BurstLen float64
+	// BurstFactor multiplies the rate during a burst (≥ 1 to be a burst).
+	BurstFactor float64
+}
+
+// Rate returns the instantaneous arrival rate at time t.
+func (a ArrivalConfig) Rate(t float64) float64 {
+	r := a.BaseRate
+	if a.DayLength > 0 && a.DiurnalAmp > 0 {
+		r *= 1 + a.DiurnalAmp*math.Sin(2*math.Pi*t/a.DayLength)
+	}
+	if a.BurstEvery > 0 && a.BurstLen > 0 && a.BurstFactor > 1 {
+		if math.Mod(t, a.BurstEvery) < a.BurstLen {
+			r *= a.BurstFactor
+		}
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// maxRate returns an upper envelope of Rate over all t, the thinning
+// bound.
+func (a ArrivalConfig) maxRate() float64 {
+	r := a.BaseRate
+	if a.DayLength > 0 && a.DiurnalAmp > 0 {
+		r *= 1 + a.DiurnalAmp
+	}
+	if a.BurstEvery > 0 && a.BurstLen > 0 && a.BurstFactor > 1 {
+		r *= a.BurstFactor
+	}
+	return r
+}
+
+// Next draws the next arrival time strictly after t by Lewis-Shedler
+// thinning: candidate arrivals come from a homogeneous process at the
+// envelope rate and are accepted with probability Rate(t)/envelope.
+// Every draw goes through rng, so the sequence is deterministic for a
+// fixed seed. Returns +Inf if the configured rate is not positive.
+func (a ArrivalConfig) Next(t float64, rng *rand.Rand) float64 {
+	env := a.maxRate()
+	if env <= 0 {
+		return math.Inf(1)
+	}
+	for {
+		t += rng.ExpFloat64() / env
+		if rng.Float64()*env < a.Rate(t) {
+			return t
+		}
+	}
+}

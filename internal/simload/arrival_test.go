@@ -1,0 +1,84 @@
+package simload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestArrivalRateShape(t *testing.T) {
+	diurnal := ArrivalConfig{BaseRate: 10, DayLength: 400, DiurnalAmp: 0.5}
+	// t=100 is a quarter-day (sin=1); t=300 the three-quarter point (sin=-1).
+	if got := diurnal.Rate(100); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("diurnal Rate(100) = %g, want 15", got)
+	}
+	if got := diurnal.Rate(300); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("diurnal Rate(300) = %g, want 5", got)
+	}
+
+	burst := ArrivalConfig{BaseRate: 10, BurstEvery: 100, BurstLen: 5, BurstFactor: 3}
+	if got := burst.Rate(100); math.Abs(got-30) > 1e-9 { // burst start
+		t.Fatalf("burst Rate(100) = %g, want 30", got)
+	}
+	if got := burst.Rate(50); math.Abs(got-10) > 1e-9 { // between bursts
+		t.Fatalf("burst Rate(50) = %g, want 10", got)
+	}
+
+	both := ArrivalConfig{BaseRate: 10, DayLength: 400, DiurnalAmp: 0.5,
+		BurstEvery: 100, BurstLen: 5, BurstFactor: 3}
+	// t=100: quarter-day peak AND a burst start.
+	if got := both.Rate(100); math.Abs(got-45) > 1e-9 {
+		t.Fatalf("combined Rate(100) = %g, want 45", got)
+	}
+	if env := both.maxRate(); env < both.Rate(100) {
+		t.Fatalf("maxRate() = %g below realized rate %g", env, both.Rate(100))
+	}
+	flat := ArrivalConfig{BaseRate: 7}
+	if got := flat.Rate(123.4); got != 7 {
+		t.Fatalf("flat Rate = %g, want 7", got)
+	}
+}
+
+func TestArrivalNextDeterministicAndIncreasing(t *testing.T) {
+	a := ArrivalConfig{BaseRate: 20, DayLength: 60, DiurnalAmp: 0.4, BurstEvery: 15, BurstLen: 2, BurstFactor: 2}
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	t1, t2 := 0.0, 0.0
+	for i := 0; i < 2000; i++ {
+		n1, n2 := a.Next(t1, r1), a.Next(t2, r2)
+		if n1 != n2 { //lint:allow floatcmp -- determinism is the property under test
+			t.Fatalf("draw %d diverged: %g vs %g", i, n1, n2)
+		}
+		if n1 <= t1 {
+			t.Fatalf("draw %d not strictly increasing: %g after %g", i, n1, t1)
+		}
+		t1, t2 = n1, n2
+	}
+}
+
+func TestArrivalMeanRate(t *testing.T) {
+	// Over whole diurnal periods the sinusoid integrates to zero, so the
+	// observed count should approach BaseRate·horizon.
+	a := ArrivalConfig{BaseRate: 50, DayLength: 100, DiurnalAmp: 0.8}
+	rng := rand.New(rand.NewSource(7))
+	const horizon = 400.0
+	n, tm := 0, 0.0
+	for {
+		tm = a.Next(tm, rng)
+		if tm > horizon {
+			break
+		}
+		n++
+	}
+	want := a.BaseRate * horizon
+	if math.Abs(float64(n)-want) > 0.05*want {
+		t.Fatalf("observed %d arrivals over %g s, want %g ±5%%", n, horizon, want)
+	}
+}
+
+func TestArrivalZeroRate(t *testing.T) {
+	var a ArrivalConfig
+	if got := a.Next(0, rand.New(rand.NewSource(1))); !math.IsInf(got, 1) {
+		t.Fatalf("Next with zero rate = %g, want +Inf", got)
+	}
+}

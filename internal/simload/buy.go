@@ -1,0 +1,58 @@
+package simload
+
+import (
+	"fmt"
+
+	"profitmining/internal/datagen"
+)
+
+// BuyModel turns a recommendation shown to a user into a purchase
+// probability, derived from the generator's coupling tables rather than
+// invented: the same Correlation and bump weights that decided which
+// target a generated basket bought decide whether a simulated customer
+// accepts the recommendation. That closes the loop — a model that
+// recommends each cell's true target at its preferred price level
+// realizes (close to) its projected profit, and one that overreaches on
+// price or misses the segment falls measurably short.
+type BuyModel struct {
+	truth    *datagen.GroundTruth
+	targetIx map[string]int // target item name → index into truth.Targets
+}
+
+// NewBuyModel builds the buy model from recorded ground truth. The
+// truth must carry coupling cells (TargetCorrelation > 0 at generation
+// time).
+func NewBuyModel(truth *datagen.GroundTruth) (*BuyModel, error) {
+	if truth == nil || len(truth.Cells) == 0 {
+		return nil, fmt.Errorf("simload: buy model needs coupling cells in the ground truth")
+	}
+	ix := make(map[string]int, len(truth.Targets))
+	for i, ts := range truth.Targets {
+		ix[ts.Name] = i
+	}
+	return &BuyModel{truth: truth, targetIx: ix}, nil
+}
+
+// Probability returns the chance that a user of the given cell buys the
+// recommended target item at the offered price level:
+//
+//   - the cell's own target: Correlation times the price-acceptance of
+//     the offered level against the cell's preferred level (the bump
+//     distribution's tail — customers tolerate being bumped up exactly
+//     as often as the generator bumped them);
+//   - any other target: the uncoupled remainder (1 − Correlation)
+//     weighted by that target's marginal share, price-independent,
+//     mirroring the generator's independent draw.
+//
+// A recommendation that is not a target item at all never converts.
+func (m *BuyModel) Probability(cell int, item string, promoIx int) float64 {
+	ti, ok := m.targetIx[item]
+	if !ok || cell < 0 || cell >= len(m.truth.Cells) {
+		return 0
+	}
+	c := m.truth.Cells[cell]
+	if ti == c.Target {
+		return m.truth.Correlation * m.truth.PriceAcceptance(c.PriceLevel, promoIx)
+	}
+	return (1 - m.truth.Correlation) * m.truth.TargetShare(ti)
+}

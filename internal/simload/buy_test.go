@@ -1,0 +1,87 @@
+package simload
+
+import (
+	"math"
+	"testing"
+
+	"profitmining/internal/datagen"
+)
+
+// handTruth builds a small ground truth by hand: two targets (weights 3
+// and 1), four price levels, the paper's bump weights, correlation 0.8.
+func handTruth() *datagen.GroundTruth {
+	return &datagen.GroundTruth{
+		Correlation: 0.8,
+		BumpWeights: []float64{0.35, 0.3, 0.2, 0.15},
+		NumPrices:   4,
+		Targets: []datagen.TargetSpec{
+			{Name: "target-A", Cost: 2, Weight: 3},
+			{Name: "target-B", Cost: 10, Weight: 1},
+		},
+		Cells: []datagen.Cell{
+			{Target: 0, PriceLevel: 1, Base: 0, Size: 4},
+			{Target: 1, PriceLevel: 3, Base: 4, Size: 4},
+		},
+		TxnCell: []int{0, 1},
+	}
+}
+
+func TestBuyModelProbability(t *testing.T) {
+	bm, err := NewBuyModel(handTruth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+
+	// Cell 0 prefers target-A at level 1.
+	if p := bm.Probability(0, "target-A", 1); !approx(p, 0.8) {
+		t.Fatalf("matched target at preferred level: %g, want 0.8", p)
+	}
+	if p := bm.Probability(0, "target-A", 0); !approx(p, 0.8) {
+		t.Fatalf("matched target below preferred level: %g, want 0.8", p)
+	}
+	// One level above preference: acceptance is the bump tail
+	// (0.3+0.2+0.15)/1 = 0.65.
+	if p := bm.Probability(0, "target-A", 2); !approx(p, 0.8*0.65) {
+		t.Fatalf("one-level bump: %g, want %g", p, 0.8*0.65)
+	}
+	if p := bm.Probability(0, "target-A", 3); !approx(p, 0.8*0.35) {
+		t.Fatalf("two-level bump: %g, want %g", p, 0.8*0.35)
+	}
+	// The other target converts via the uncoupled remainder at its
+	// marginal share, price-independent.
+	if p := bm.Probability(0, "target-B", 3); !approx(p, 0.2*0.25) {
+		t.Fatalf("other target: %g, want %g", p, 0.2*0.25)
+	}
+	if p := bm.Probability(1, "target-A", 0); !approx(p, 0.2*0.75) {
+		t.Fatalf("other target (cell 1): %g, want %g", p, 0.2*0.75)
+	}
+	// Non-target items and bad cells never convert.
+	if p := bm.Probability(0, "item-0007", 0); p != 0 {
+		t.Fatalf("non-target item: %g, want 0", p)
+	}
+	if p := bm.Probability(-1, "target-A", 0); p != 0 {
+		t.Fatalf("bad cell: %g, want 0", p)
+	}
+	if p := bm.Probability(99, "target-A", 0); p != 0 {
+		t.Fatalf("out-of-range cell: %g, want 0", p)
+	}
+	// Monotone non-increasing in the offered level for the matched target.
+	last := math.Inf(1)
+	for lvl := 0; lvl < 4; lvl++ {
+		p := bm.Probability(0, "target-A", lvl)
+		if p > last {
+			t.Fatalf("acceptance increased at level %d: %g after %g", lvl, p, last)
+		}
+		last = p
+	}
+}
+
+func TestBuyModelRequiresCells(t *testing.T) {
+	if _, err := NewBuyModel(&datagen.GroundTruth{}); err == nil {
+		t.Fatal("want error for truth without coupling cells")
+	}
+	if _, err := NewBuyModel(nil); err == nil {
+		t.Fatal("want error for nil truth")
+	}
+}

@@ -1,0 +1,112 @@
+package simload
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values are microseconds, bucketed HDR-style
+// into rows of histSub sub-buckets per power of two. Row 0 holds the
+// exact values [0, histSub); every later row r spans one octave
+// [2^(histSubBits+r-1), 2^(histSubBits+r)) split into histSub equal
+// sub-buckets, so the relative bucket width — and therefore the maximum
+// quantile error — is 1/histSub ≈ 3.1% everywhere.
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// histMaxExp caps recordable values at 2^histMaxExp µs ≈ 4.8 hours;
+	// anything above clamps into the last bucket.
+	histMaxExp  = 34
+	histBuckets = (histMaxExp - histSubBits + 1) * histSub
+)
+
+// Hist is a fixed-size log-bucketed latency histogram with lock-free
+// recording: one atomic add per observation, safe for any number of
+// concurrent recorders. Reads (Quantile, Mean) take a best-effort
+// snapshot; they are exact once recording has quiesced.
+type Hist struct {
+	counts [histBuckets]atomic.Int64
+	n      atomic.Int64
+	sum    atomic.Int64 // µs
+}
+
+// bucketIx maps a non-negative microsecond value to its bucket.
+func bucketIx(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	if us >= 1<<histMaxExp {
+		us = 1<<histMaxExp - 1
+	}
+	if us < histSub {
+		return int(us)
+	}
+	exp := bits.Len64(uint64(us)) - 1 // 2^exp ≤ us < 2^(exp+1)
+	shift := exp - histSubBits
+	row := shift + 1
+	return row*histSub + int(us>>shift) - histSub
+}
+
+// bucketUpper returns the exclusive upper edge of bucket ix in µs.
+func bucketUpper(ix int) int64 {
+	if ix < histSub {
+		return int64(ix) + 1
+	}
+	row := ix / histSub
+	within := ix % histSub
+	shift := row - 1
+	return (int64(histSub+within) + 1) << shift
+}
+
+// Record adds one observation.
+func (h *Hist) Record(d time.Duration) {
+	us := d.Microseconds()
+	h.counts[bucketIx(us)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(us)
+}
+
+// N returns the number of observations recorded.
+func (h *Hist) N() int64 { return h.n.Load() }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load()/n) * time.Microsecond
+}
+
+// Quantile returns an upper bound on the p-quantile (nearest rank,
+// reported as the containing bucket's upper edge — at most 1/histSub
+// above the true value). p is clamped to [0, 1]; empty yields 0.
+func (h *Hist) Quantile(p float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return time.Duration(bucketUpper(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(bucketUpper(histBuckets-1)) * time.Microsecond
+}

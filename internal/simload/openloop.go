@@ -1,0 +1,198 @@
+package simload
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"profitmining/internal/datagen"
+	"profitmining/internal/model"
+)
+
+// OpenLoopConfig parameterizes a wall-clock run: a fixed-rate pacer
+// over a pre-generated request schedule. The schedule (which basket,
+// which user, the buy coin-flip) is seed-deterministic; only timing and
+// therefore latency measurements vary run to run.
+type OpenLoopConfig struct {
+	BaseURL string
+	Client  *http.Client
+
+	Dataset *model.Dataset
+	Truth   *datagen.GroundTruth
+
+	Users int
+	Seed  int64
+
+	// QPS is the target session-step rate; Duration the wall-clock run
+	// length. Both required.
+	QPS      float64
+	Duration time.Duration
+
+	// Workers sizes the request worker pool (default 4·GOMAXPROCS —
+	// requests are I/O bound).
+	Workers int
+
+	// ZipfS and ZipfV as in Config.
+	ZipfS, ZipfV float64
+}
+
+// OpenLoopResult reports one wall-clock run.
+type OpenLoopResult struct {
+	TargetQPS   float64
+	AchievedQPS float64
+	Elapsed     time.Duration
+
+	Requests        int64 // recommend requests issued
+	Recommends      int64
+	NoRec           int64
+	Outcomes        int64
+	Conversions     int64
+	LateDispatches  int64 // jobs dispatched >1 pacing interval behind schedule
+	RecommendErrors int64
+	OutcomeErrors   int64
+	Dropped         int64
+
+	Client *Client // latency histograms and ledger
+}
+
+// openJob is one pre-generated request: everything random is drawn up
+// front so workers make no RNG calls and the workload is identical for
+// a fixed seed regardless of scheduling.
+type openJob struct {
+	due     time.Duration // offset from run start
+	txn     int           // dataset transaction index (payload + cell)
+	cell    int
+	buyRand float64
+	reqID   string
+}
+
+// RunOpenLoop drives the target at cfg.QPS for cfg.Duration with a
+// worker pool, measuring client-side per-endpoint latency. Backpressure
+// is closed-loop: if every worker is busy the pacer blocks and the
+// schedule slips (counted in LateDispatches) rather than piling up
+// unbounded in-flight requests.
+func RunOpenLoop(cfg OpenLoopConfig) (*OpenLoopResult, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("simload: BaseURL is required")
+	}
+	if cfg.QPS <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("simload: open loop needs positive QPS and Duration")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.ZipfV < 1 {
+		cfg.ZipfV = 1
+	}
+	pop, err := NewPopulation(cfg.Dataset, cfg.Truth, cfg.Users)
+	if err != nil {
+		return nil, err
+	}
+	buy, err := NewBuyModel(cfg.Truth)
+	if err != nil {
+		return nil, err
+	}
+	client := NewClient(cfg.BaseURL, cfg.Client)
+
+	// Pre-generate the whole schedule single-threaded.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipfs := make([]*rand.Zipf, len(pop.CellTxns))
+	n := int(cfg.QPS * cfg.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	jobs := make([]openJob, n)
+	for i := range jobs {
+		user := rng.Intn(cfg.Users)
+		cell := pop.HomeCell[user]
+		pool := pop.CellTxns[cell]
+		txn := pool[0]
+		if len(pool) > 1 {
+			if zipfs[cell] == nil {
+				zipfs[cell] = rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(len(pool)-1))
+			}
+			txn = pool[zipfs[cell].Uint64()]
+		}
+		jobs[i] = openJob{
+			due:     time.Duration(float64(i) * float64(interval)),
+			txn:     txn,
+			cell:    cell,
+			buyRand: rng.Float64(),
+			reqID:   fmt.Sprintf("open-%08d", i),
+		}
+	}
+
+	res := &OpenLoopResult{TargetQPS: cfg.QPS, Client: client}
+	var (
+		recommends, noRec, outcomes, conversions, late int64
+		mu                                             sync.Mutex
+	)
+	ch := make(chan openJob, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range ch {
+				rec, err := client.Recommend(pop.Payloads[job.txn])
+				if err != nil || rec == nil {
+					if err == nil {
+						mu.Lock()
+						noRec++
+						mu.Unlock()
+					}
+					continue
+				}
+				p := buy.Probability(job.cell, rec.Item, rec.PromoIx)
+				bought := job.buyRand < p
+				qty, paid := 0.0, 0.0
+				if bought {
+					qty, paid = 1, rec.Price
+				}
+				_, err = client.ReportOutcome(job.reqID, rec.RuleID, rec.ModelVersion, bought, qty, paid)
+				mu.Lock()
+				recommends++
+				if err == nil {
+					outcomes++
+					if bought {
+						conversions++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	start := time.Now()
+	for _, job := range jobs {
+		if sleep := job.due - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		} else if -sleep > interval {
+			late++
+		}
+		ch <- job
+	}
+	close(ch)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.Elapsed = elapsed
+	res.Requests = int64(n)
+	res.AchievedQPS = float64(n) / elapsed.Seconds()
+	res.Recommends = recommends
+	res.NoRec = noRec
+	res.Outcomes = outcomes
+	res.Conversions = conversions
+	res.LateDispatches = late
+	res.RecommendErrors = client.Ledger.RecommendErrors.Load()
+	res.OutcomeErrors = client.Ledger.OutcomeErrors.Load()
+	res.Dropped = client.Ledger.Dropped()
+	return res, nil
+}

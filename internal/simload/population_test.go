@@ -1,0 +1,82 @@
+package simload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"profitmining/internal/datagen"
+	"profitmining/internal/model"
+	"profitmining/internal/quest"
+)
+
+func genWorld(t *testing.T) (*model.Dataset, *datagen.GroundTruth) {
+	t.Helper()
+	ds, truth, err := datagen.GenerateWithTruth(datagen.DatasetIConfig(quest.Config{
+		NumTransactions: 400,
+		NumItems:        40,
+	}, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, truth
+}
+
+func TestNewPopulation(t *testing.T) {
+	ds, truth := genWorld(t)
+	pop, err := NewPopulation(ds, truth, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop.HomeCell) != 500 {
+		t.Fatalf("HomeCell has %d users, want 500", len(pop.HomeCell))
+	}
+	for u, c := range pop.HomeCell {
+		if c < 0 || c >= len(truth.Cells) {
+			t.Fatalf("user %d home cell %d out of range", u, c)
+		}
+		if len(pop.CellTxns[c]) == 0 {
+			t.Fatalf("user %d lives in cell %d with no traffic", u, c)
+		}
+	}
+	// Every pooled transaction has a payload that decodes to its own
+	// basket items, and belongs to the cell the truth assigns it.
+	for c, pool := range pop.CellTxns {
+		for _, txn := range pool {
+			if truth.TxnCell[txn] != c {
+				t.Fatalf("txn %d pooled under cell %d but truth says %d", txn, c, truth.TxnCell[txn])
+			}
+			var req recReq
+			if err := json.Unmarshal(pop.Payloads[txn], &req); err != nil {
+				t.Fatalf("payload %d: %v", txn, err)
+			}
+			if req.K != 1 || len(req.Basket) != len(ds.Transactions[txn].NonTarget) {
+				t.Fatalf("payload %d: k=%d basket=%d, want k=1 basket=%d",
+					txn, req.K, len(req.Basket), len(ds.Transactions[txn].NonTarget))
+			}
+		}
+	}
+	// Deterministic: no RNG state feeds the assignment.
+	pop2, err := NewPopulation(ds, truth, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pop.HomeCell, pop2.HomeCell) {
+		t.Fatal("population assignment is not deterministic")
+	}
+}
+
+func TestNewPopulationValidation(t *testing.T) {
+	ds, truth := genWorld(t)
+	if _, err := NewPopulation(ds, truth, 0); err == nil {
+		t.Fatal("want error for zero users")
+	}
+	if _, err := NewPopulation(ds, &datagen.GroundTruth{}, 10); err == nil {
+		t.Fatal("want error for truth without cells")
+	}
+	short := *truth
+	short.TxnCell = truth.TxnCell[:len(truth.TxnCell)-1]
+	if _, err := NewPopulation(ds, &short, 10); err == nil {
+		t.Fatal("want error for truth/dataset length mismatch")
+	}
+}

@@ -1,0 +1,186 @@
+package simload
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"profitmining/internal/feedback"
+	"profitmining/internal/hierarchy"
+	"profitmining/internal/incremental"
+	"profitmining/internal/mining"
+	"profitmining/internal/model"
+	"profitmining/internal/registry"
+	"profitmining/internal/serve"
+)
+
+// newSoakStack stands up the full closed loop in-process: a windowed
+// model over the first part of the dataset, a registry whose promotions
+// feed the collector, a tight drift detector, and an HTTP server — the
+// same wiring cmd/profitserve uses, shrunk to test scale. The returned
+// refresher answers drift alarms with a windowed delta re-mine.
+func newSoakStack(t *testing.T, ds *model.Dataset) (*httptest.Server, *incremental.Refresher) {
+	t.Helper()
+	fb, _, err := feedback.Open(feedback.Config{
+		Drift: feedback.DriftConfig{Delta: 0.002, Lambda: 8, MinObservations: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := registry.New(registry.Options{
+		OnPromote: func(snap *registry.Snapshot) { serve.RegisterSnapshot(fb, snap) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	space, err := hierarchy.NewBuilder(ds.Catalog).Compile(hierarchy.Options{MOA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window, slide = 300, 50
+	maint, err := incremental.New(space, ds.Transactions[:window], incremental.Config{
+		Mining: mining.Options{MinSupport: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refresher, err := incremental.NewRefresher(incremental.RefreshConfig{
+		Maintainer: maint,
+		Catalog:    ds.Catalog,
+		Source:     ds.Transactions,
+		Start:      window % len(ds.Transactions),
+		Slide:      slide,
+		Registry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := refresher.SubmitCurrent("soak test initial window"); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(serve.NewRegistry(reg, nil, fb).Handler())
+	t.Cleanup(ts.Close)
+	return ts, refresher
+}
+
+func soakConfig(base string) Config {
+	return Config{
+		BaseURL:  base,
+		Users:    200,
+		Seed:     1234,
+		Duration: 60,
+		Arrival: ArrivalConfig{
+			BaseRate:    4,
+			DayLength:   30,
+			DiurnalAmp:  0.4,
+			BurstEvery:  20,
+			BurstLen:    2,
+			BurstFactor: 2,
+		},
+		MeanSessionSteps: 3,
+		MeanThink:        0.5,
+		ShockAt:          30,
+		ShockFactor:      0.05,
+	}
+}
+
+// TestRunDeterministicEndToEnd is the heart of the soak gate: the same
+// seed against two fresh but identical server stacks must produce
+// byte-identical final /feedback/stats — including at least one
+// drift → delta-refresh → promote cycle along the way.
+func TestRunDeterministicEndToEnd(t *testing.T) {
+	ds, truth := genWorld(t)
+	run := func() *Result {
+		ts, refresher := newSoakStack(t, ds)
+		cfg := soakConfig(ts.URL)
+		cfg.Dataset, cfg.Truth = ds, truth
+		cfg.OnDrift = func() {
+			if _, _, err := refresher.Refresh(); err != nil {
+				t.Errorf("refresh: %v", err)
+			}
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	res1 := run()
+	res2 := run()
+
+	if res1.Dropped != 0 || res2.Dropped != 0 {
+		t.Fatalf("dropped requests: run1=%d run2=%d, want 0", res1.Dropped, res2.Dropped)
+	}
+	if res1.Steps == 0 || res1.Outcomes == 0 {
+		t.Fatalf("simulation did nothing: %+v", res1)
+	}
+	if res1.Conversions == 0 {
+		t.Fatal("no conversions: the buy model never fired")
+	}
+	if res1.Recommends == 0 {
+		t.Fatal("no recommendations received")
+	}
+	if res1.DriftAlarms == 0 {
+		t.Fatal("shock did not trip the drift detector: no drift→refresh cycle exercised")
+	}
+	if !bytes.Equal(res1.FinalStats, res2.FinalStats) {
+		t.Fatalf("final /feedback/stats differ between identical runs:\nrun1: %d bytes\nrun2: %d bytes\nrun1: %.400s\nrun2: %.400s",
+			len(res1.FinalStats), len(res2.FinalStats), res1.FinalStats, res2.FinalStats)
+	}
+	for _, res := range []*Result{res1, res2} {
+		if res.Sessions != res1.Sessions || res.Steps != res1.Steps ||
+			res.Outcomes != res1.Outcomes || res.Conversions != res1.Conversions ||
+			res.DriftAlarms != res1.DriftAlarms {
+			t.Fatalf("run counters diverged: %+v vs %+v", res1, res)
+		}
+	}
+	if res1.Client.RecommendHist.N() == 0 || res1.Client.OutcomeHist.N() == 0 {
+		t.Fatal("latency histograms empty")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ds, truth := genWorld(t)
+	base := Config{BaseURL: "http://127.0.0.1:1", Dataset: ds, Truth: truth,
+		Users: 10, Duration: 1, Arrival: ArrivalConfig{BaseRate: 1}}
+
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no base url", func(c *Config) { c.BaseURL = "" }},
+		{"no duration", func(c *Config) { c.Duration = 0 }},
+		{"no rate", func(c *Config) { c.Arrival.BaseRate = 0 }},
+		{"no users", func(c *Config) { c.Users = 0 }},
+		{"no truth", func(c *Config) { c.Truth = nil }},
+	} {
+		cfg := base
+		tc.mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("%s: want error", tc.name)
+		}
+	}
+}
+
+// TestRunUnreachableServerCountsDrops exercises the ledger: against a
+// dead endpoint every step drops, and Run still returns a result-shaped
+// error rather than hanging.
+func TestRunUnreachableServerCountsDrops(t *testing.T) {
+	ds, truth := genWorld(t)
+	cfg := Config{
+		BaseURL: "http://127.0.0.1:1", // reserved port: connection refused
+		Dataset: ds, Truth: truth,
+		Users: 10, Seed: 1, Duration: 2,
+		Arrival: ArrivalConfig{BaseRate: 3},
+	}
+	res, err := Run(cfg)
+	if err == nil {
+		t.Fatal("want error fetching final stats from a dead server")
+	}
+	if res == nil || res.Dropped == 0 {
+		t.Fatalf("want dropped requests recorded, got %+v", res)
+	}
+}

@@ -1,0 +1,51 @@
+package stats
+
+import "testing"
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 10, 10) // bin width 1
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 10) // 100 values spread over [0, 10)
+	}
+	// Each bin holds 10 observations; the p-quantile's containing bin is
+	// floor((ceil(100p)-1)/10), and the reported value is its upper edge.
+	cases := []struct{ p, want float64 }{
+		{0, 1},    // rank clamps to 1 → first bin
+		{0.05, 1}, // rank 5 → bin 0
+		{0.10, 1}, // rank 10 → still bin 0
+		{0.11, 2}, // rank 11 → bin 1
+		{0.50, 5},
+		{0.95, 10},
+		{0.99, 10},
+		{1, 10},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.p); got != c.want {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Quantile must be monotone in p.
+	prev := 0.0
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone at p=%g: %g < %g", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestHistogramQuantileClamped(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5) // clamps into first bin
+	h.Add(50) // clamps into last bin
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 of clamped sample = %g, want 1 (first bin edge)", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("p100 of clamped sample = %g, want 10", got)
+	}
+}
